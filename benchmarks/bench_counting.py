@@ -1,0 +1,71 @@
+"""E5 -- abstract counting plugs in without touching the semantics (6.3, 8.3).
+
+Claims regenerated: replacing the store with a ``CountingStore`` (a) is
+invisible to the flow results, (b) certifies singleton cardinalities on
+straight-line bindings (the must-alias/environment-analysis payload),
+and (c) reports MANY exactly where rebinding happens (loops).
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import fmt_table
+from repro.core.lattice import AbsNat
+from repro.cps.analysis import analyse_kcfa, analyse_with_count
+from repro.corpus.cps_programs import PROGRAMS, id_chain
+
+TERMINATING = ["identity", "id-id", "mj09", "self-apply"]
+
+
+def test_e5_counting_preserves_flows(benchmark):
+    def run():
+        return {
+            name: (
+                analyse_kcfa(PROGRAMS[name], 1).flows_to(),
+                analyse_with_count(PROGRAMS[name], 1, shared=False).flows_to(),
+            )
+            for name in TERMINATING
+        }
+
+    results = run_once(benchmark, run)
+    for name, (plain, counted) in results.items():
+        assert plain == counted, name
+
+
+def test_e5_singleton_certification(benchmark):
+    def run():
+        return {
+            name: analyse_with_count(PROGRAMS[name], 1, shared=False)
+            for name in TERMINATING
+        }
+
+    results = run_once(benchmark, run)
+    rows = []
+    for name, result in results.items():
+        store = result.global_store()
+        counting = result.store_like
+        addrs = list(counting.addresses(store))
+        singles = result.singleton_counts()
+        rows.append((name, len(addrs), len(singles), f"{len(singles)/len(addrs):.0%}"))
+    print()
+    print(fmt_table(["program", "addresses", "count=1", "fraction"], rows))
+    # straight-line corpus programs allocate every address exactly once
+    for name, total, singles, _pct in rows:
+        assert singles == total, name
+
+
+def test_e5_loops_counted_many(benchmark):
+    def run():
+        return analyse_with_count(PROGRAMS["omega"], 0, shared=False)
+
+    result = run_once(benchmark, run)
+    store = result.global_store()
+    counting = result.store_like
+    counts = {a: counting.count(store, a) for a in counting.addresses(store)}
+    assert AbsNat.MANY in counts.values()  # omega rebinds forever
+
+
+def test_e5_counting_overhead(benchmark):
+    """The counting store's bookkeeping cost on a larger workload."""
+    program = id_chain(6)
+    result = run_once(benchmark, lambda: analyse_with_count(program, 1, shared=False))
+    assert result.singleton_counts()

@@ -1,0 +1,81 @@
+"""E8 supplement -- Featherweight Java analysis costs and cast safety.
+
+Rows for the FJ side of the framework: dispatch-chain scaling, dynamic
+dispatch precision (animals), and the cast-safety client built on the
+class-flow results.
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import fmt_table, timed
+from repro.fj.analysis import analyse_fj_kcfa, analyse_fj_shared, analyse_fj_zerocfa
+from repro.fj.class_table import ClassTable
+from repro.fj.concrete import evaluate_fj
+from repro.corpus.fj_programs import PROGRAMS, dispatch_chain
+
+NAMES = ["pair", "id-twice", "animals", "visitor", "safe-cast"]
+
+
+def test_fj_corpus_sweep(benchmark):
+    def run():
+        return {name: analyse_fj_kcfa(PROGRAMS[name], 1) for name in NAMES}
+
+    results = run_once(benchmark, run)
+    rows = []
+    for name, result in results.items():
+        concrete = evaluate_fj(PROGRAMS[name]).cls
+        finals = sorted(result.final_classes())
+        assert concrete in finals
+        rows.append((name, result.num_states(), result.store_size(), ",".join(finals)))
+    print()
+    print(fmt_table(["program", "states", "store", "final classes (1CFA)"], rows))
+
+
+def test_fj_dispatch_precision(benchmark):
+    program = PROGRAMS["animals"]
+
+    def run():
+        return analyse_fj_zerocfa(program), analyse_fj_kcfa(program, 1)
+
+    r0, r1 = run_once(benchmark, run)
+    print()
+    print(
+        fmt_table(
+            ["policy", "final classes"],
+            [
+                ("0CFA", ",".join(sorted(r0.final_classes()))),
+                ("1CFA", ",".join(sorted(r1.final_classes()))),
+            ],
+        )
+    )
+    assert r0.final_classes() == frozenset(["Bark", "Meow"])
+    assert r1.final_classes() == frozenset(["Bark"])
+
+
+def test_fj_chain_scaling(benchmark):
+    def run():
+        out = {}
+        for n in (2, 4, 6):
+            program = dispatch_chain(n)
+            result, seconds = timed(lambda p=program: analyse_fj_shared(p, 1))
+            out[n] = (result.num_states(), seconds)
+        return out
+
+    table = run_once(benchmark, run)
+    rows = [(n, states, f"{secs:.3f}s") for n, (states, secs) in sorted(table.items())]
+    print()
+    print(fmt_table(["chain n", "states", "time"], rows))
+    assert table[6][0] > table[2][0]
+
+
+def test_fj_cast_safety_client(benchmark):
+    def run():
+        safe_table = ClassTable.of(PROGRAMS["safe-cast"])
+        safe = analyse_fj_kcfa(PROGRAMS["safe-cast"], 1).possible_cast_failures(safe_table)
+        bad_table = ClassTable.of(PROGRAMS["bad-cast"])
+        bad = analyse_fj_kcfa(PROGRAMS["bad-cast"], 1).possible_cast_failures(bad_table)
+        return safe, bad
+
+    safe, bad = run_once(benchmark, run)
+    assert not safe  # proved safe
+    assert ("A", "B") in bad  # possible failure found

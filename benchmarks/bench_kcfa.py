@@ -1,0 +1,92 @@
+"""E3 -- the k-CFA family from one ``Addressable`` swap (8.1, 2.4.1).
+
+Claims regenerated: (1) swapping only the address/context policy yields
+the whole k-CFA family; (2) precision improves monotonically with k on
+context-sensitive programs (mj09, id-chains); (3) state counts and time
+grow with k.
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import fmt_table, precision_summary, timed
+from repro.cps.analysis import analyse_kcfa, analyse_shared
+from repro.corpus.cps_programs import PROGRAMS, id_chain
+
+
+def test_e3_k_sweep_mj09(benchmark):
+    program = PROGRAMS["mj09"]
+
+    def run():
+        return {k: analyse_kcfa(program, k) for k in (0, 1, 2)}
+
+    results = run_once(benchmark, run)
+    rows = []
+    for k, result in sorted(results.items()):
+        flows = result.flows_to()
+        summary = precision_summary(flows)
+        rows.append((f"k={k}", result.num_states(), len(flows["a"]), len(flows["b"]), summary["mean_flow"]))
+    print()
+    print(fmt_table(["analysis", "states", "|flows(a)|", "|flows(b)|", "mean flow"], rows))
+    # paper shape: 0CFA conflates (2 lambdas reach a and b), k>=1 is exact
+    assert rows[0][2] == 2 and rows[1][2] == 1 and rows[2][2] == 1
+
+
+def test_e3_k_sweep_id_chain(benchmark):
+    # id-chains under monovariant *per-state* stores clone exponentially
+    # (continuation merging times heap cloning), so this sweep uses the
+    # single-threaded store -- standard practice, and sound (E4).
+    program = id_chain(6)
+
+    def run():
+        return {k: analyse_shared(program, k) for k in (0, 1)}
+
+    results = run_once(benchmark, run)
+    f0 = precision_summary(results[0].flows_to())
+    f1 = precision_summary(results[1].flows_to())
+    print()
+    print(
+        fmt_table(
+            ["analysis", "states", "mean flow", "max flow"],
+            [
+                ("0CFA", results[0].num_states(), f0["mean_flow"], f0["max_flow"]),
+                ("1CFA", results[1].num_states(), f1["mean_flow"], f1["max_flow"]),
+            ],
+        )
+    )
+    # monovariance merges all 6 chain arguments through the shared parameter
+    assert f0["max_flow"] == 6
+    assert f1["mean_flow"] < f0["mean_flow"]
+
+
+def test_e3_cost_grows_with_k(benchmark):
+    program = id_chain(5)
+
+    def run():
+        out = {}
+        for k in (0, 1, 2):
+            result, seconds = timed(lambda k=k: analyse_shared(program, k))
+            out[k] = (result.num_elements(), seconds)
+        return out
+
+    costs = run_once(benchmark, run)
+    rows = [(f"k={k}", elements, f"{seconds:.4f}s") for k, (elements, seconds) in sorted(costs.items())]
+    print()
+    print(fmt_table(["analysis", "fixed-point size", "time"], rows))
+    # finer contexts can only refine (split) the configuration space
+    assert costs[2][0] >= costs[1][0] >= costs[0][0] > 0
+
+
+def test_e3_precision_monotone_in_k_everywhere(benchmark):
+    names = ["identity", "mj09", "id-id", "self-apply", "omega"]
+
+    def run():
+        return {
+            name: (analyse_kcfa(PROGRAMS[name], 0), analyse_kcfa(PROGRAMS[name], 1))
+            for name in names
+        }
+
+    results = run_once(benchmark, run)
+    for name, (r0, r1) in results.items():
+        f0, f1 = r0.flows_to(), r1.flows_to()
+        for var, lams in f1.items():
+            assert lams <= f0.get(var, lams), f"{name}:{var}"

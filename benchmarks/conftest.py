@@ -1,0 +1,13 @@
+"""Shared benchmark configuration.
+
+Analyses are deterministic and relatively slow, so every benchmark uses
+few rounds (pytest-benchmark's adaptive calibration would otherwise
+re-run multi-second fixed-point computations dozens of times).
+"""
+
+import pytest
+
+
+def run_once(benchmark, thunk):
+    """Benchmark a thunk with a single measured round and return its value."""
+    return benchmark.pedantic(thunk, rounds=1, iterations=1)

@@ -1,0 +1,56 @@
+"""Quickstart: parse a CPS program, run it, then analyze it.
+
+Run with::
+
+    python examples/quickstart.py
+
+The program is the paper's running pattern (one identity, two call
+sites).  We (1) execute it with the concrete interpreter recovered from
+the monadic semantics (section 4), then (2) compute a monovariant and a
+1-CFA analysis by swapping a single component, and print the flows-to
+tables side by side.
+"""
+
+from repro.analysis.report import fmt_table
+from repro.cps import analyse_kcfa, analyse_zerocfa, interpret, parse_program
+from repro.cps.syntax import pp
+
+SOURCE = """
+((lambda (id k)
+   (id (lambda (z kz) (kz z))
+       (lambda (a)
+         (id (lambda (y ky) (ky y))
+             (lambda (b) (exit))))))
+ (lambda (x j) (j x))
+ (lambda (r) (exit)))
+"""
+
+
+def main() -> None:
+    program = parse_program(SOURCE)
+    print("program:")
+    print(" ", pp(program))
+    print()
+
+    final = interpret(program)
+    print(f"concrete run finished at: {final.ctrl!r}")
+    print()
+
+    mono = analyse_zerocfa(program)
+    poly = analyse_kcfa(program, k=1)
+
+    rows = []
+    for var in sorted(set(mono.flows_to()) | set(poly.flows_to())):
+        flows0 = mono.flows_to().get(var, frozenset())
+        flows1 = poly.flows_to().get(var, frozenset())
+        rows.append((var, len(flows0), len(flows1)))
+    print(fmt_table(["variable", "|flows| 0CFA", "|flows| 1CFA"], rows))
+    print()
+    print(
+        "0CFA conflates the two uses of the identity (a and b each see 2\n"
+        "lambdas); 1CFA distinguishes the call sites and is exact."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""repro: *Monadic Abstract Interpreters* (Sergey et al., PLDI 2013) in Python.
+
+A monadically-parameterized abstract-machine framework in which the
+*monad* -- together with semantics-independent components for addressing
+(:mod:`repro.core.addresses`), stores (:mod:`repro.core.store`), abstract
+counting, abstract garbage collection (:mod:`repro.core.gc`) and
+fixed-point computation (:mod:`repro.core.fixpoint`) -- determines the
+classical properties of a static analysis: context-sensitivity,
+polyvariance, heap cloning vs. store widening, reachability pruning and
+cardinality bounding.
+
+Three language definitions instantiate the framework with the *same*
+meta-level components:
+
+* :mod:`repro.cps`  -- continuation-passing-style lambda calculus (the
+  paper's running development, sections 2-8);
+* :mod:`repro.cesk` -- direct-style lambda calculus via a CESK machine;
+* :mod:`repro.fj`   -- Featherweight Java.
+"""
+
+__version__ = "1.0.0"

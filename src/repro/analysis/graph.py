@@ -1,0 +1,100 @@
+"""Abstract transition graphs: build, query and export (Graphviz DOT).
+
+The collecting semantics gives the *set* of reachable configurations;
+for debugging and for visualizing what widening or GC did, the edge
+structure matters too.  :func:`transition_graph` re-runs the monadic
+step over a per-state-store analysis to recover the edges;
+:func:`to_dot` renders them.
+
+Works for any language package: pass the step function and the
+``PerStateStoreCollecting`` instance the analysis was built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable
+
+from repro.core.collecting import PerStateStoreCollecting
+from repro.core.fixpoint import FixpointDiverged
+
+
+@dataclass
+class TransitionGraph:
+    """A finite abstract transition system."""
+
+    nodes: list = field(default_factory=list)
+    edges: list = field(default_factory=list)  # (source index, target index)
+    initial: int = 0
+
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    def edge_count(self) -> int:
+        return len(self.edges)
+
+    def successors(self, index: int) -> list:
+        return [dst for src, dst in self.edges if src == index]
+
+    def predecessors(self, index: int) -> list:
+        return [src for src, dst in self.edges if dst == index]
+
+    def terminal_nodes(self) -> list:
+        """Nodes whose only outgoing edge is a self-loop (or none)."""
+        return [
+            i
+            for i in range(len(self.nodes))
+            if all(dst == i for dst in self.successors(i))
+        ]
+
+    def branching_nodes(self) -> list:
+        """Nodes with more than one distinct successor: nondeterminism."""
+        return [i for i in range(len(self.nodes)) if len(set(self.successors(i))) > 1]
+
+
+def transition_graph(
+    collecting: PerStateStoreCollecting,
+    step: Callable[[Any], Any],
+    initial_state: Any,
+    max_states: int = 100_000,
+    label: Callable[[Any], str] | None = None,
+) -> TransitionGraph:
+    """Explore from ``initial_state``, recording configurations and edges."""
+    seed = next(iter(collecting.inject(initial_state)))
+    index: dict = {seed: 0}
+    nodes = [seed]
+    edges: list = []
+    frontier = [seed]
+    while frontier:
+        if len(nodes) > max_states:
+            raise FixpointDiverged(f"graph exceeded {max_states} configurations")
+        config = frontier.pop()
+        for nxt in collecting.run_config(step, config):
+            if nxt not in index:
+                index[nxt] = len(nodes)
+                nodes.append(nxt)
+                frontier.append(nxt)
+            edges.append((index[config], index[nxt]))
+    return TransitionGraph(nodes=nodes, edges=sorted(set(edges)), initial=0)
+
+
+def default_label(config: Any) -> str:
+    """A compact node label: the control component of the configuration."""
+    (pstate, _guts), _store = config
+    text = repr(getattr(pstate, "ctrl", pstate))
+    return text if len(text) <= 40 else text[:37] + "..."
+
+
+def to_dot(graph: TransitionGraph, label: Callable[[Any], str] | None = None) -> str:
+    """Render as Graphviz DOT (deterministic output, suitable for goldens)."""
+    label = label or default_label
+    lines = ["digraph abstract_transitions {", "  rankdir=LR;", "  node [shape=box];"]
+    for i, config in enumerate(graph.nodes):
+        text = label(config).replace("\\", "\\\\").replace('"', '\\"')
+        shape = ' peripheries=2' if i in graph.terminal_nodes() else ""
+        lines.append(f'  n{i} [label="{text}"{shape}];')
+    lines.append(f"  start [shape=point]; start -> n{graph.initial};")
+    for src, dst in graph.edges:
+        lines.append(f"  n{src} -> n{dst};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""A CESK machine for direct-style lambda calculus, monadically parameterized.
+
+The second language of the paper's artifact: the same meta-level
+components (monads, ``Addressable``, ``StoreLike``, counting stores,
+garbage collection, ``Collecting`` fixpoints) drive a machine with
+*continuations in the store* (the "abstracting abstract machines"
+construction), demonstrating that the monadic decomposition is not
+CPS-specific.
+
+* :mod:`repro.cesk.machine`   -- states, values, continuation frames
+* :mod:`repro.cesk.semantics` -- ``CESKInterface`` and the monadic step
+* :mod:`repro.cesk.concrete`  -- the concrete machine (real heap)
+* :mod:`repro.cesk.analysis`  -- the abstract analysis family
+"""
+
+from repro.cesk.machine import Clo, Frame, HaltF, PState, inject
+from repro.cesk.semantics import CESKInterface, mnext_cesk
+from repro.cesk.concrete import ConcreteCESKInterface, evaluate, evaluate_trace
+from repro.cesk.analysis import (
+    AbstractCESKInterface,
+    CESKAnalysisResult,
+    analyse_cesk,
+    analyse_cesk_gc,
+    analyse_cesk_kcfa,
+    analyse_cesk_shared,
+    analyse_cesk_zerocfa,
+)
+
+__all__ = [
+    "AbstractCESKInterface",
+    "CESKAnalysisResult",
+    "CESKInterface",
+    "Clo",
+    "ConcreteCESKInterface",
+    "Frame",
+    "HaltF",
+    "PState",
+    "analyse_cesk",
+    "analyse_cesk_gc",
+    "analyse_cesk_kcfa",
+    "analyse_cesk_shared",
+    "analyse_cesk_zerocfa",
+    "evaluate",
+    "evaluate_trace",
+    "inject",
+    "mnext_cesk",
+]

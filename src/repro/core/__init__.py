@@ -1,0 +1,54 @@
+"""The paper's meta-level: semantics-independent analysis machinery.
+
+This package is the upper half of the paper's Figure 3.  Everything here
+is reusable, unchanged, by each language definition (CPS lambda calculus,
+direct-style lambda calculus / CESK, Featherweight Java):
+
+* :mod:`repro.core.lattice`   -- complete lattices and instances (5.2)
+* :mod:`repro.core.monads`    -- a monad library with transformers (3, 5.3)
+* :mod:`repro.core.fixpoint`  -- Kleene iteration, ``Collecting``, widening (5.2)
+* :mod:`repro.core.galois`    -- Galois connections; store-sharing alpha/gamma (6.5)
+* :mod:`repro.core.addresses` -- ``Addressable``: polyvariance & context (6.1)
+* :mod:`repro.core.store`     -- ``StoreLike`` & counting stores (6.2, 6.3)
+* :mod:`repro.core.gc`        -- abstract garbage collection (6.4)
+* :mod:`repro.core.driver`    -- ``run_analysis``: the three degrees of freedom (5.2)
+"""
+
+from repro.core.lattice import (
+    AbsNat,
+    Lattice,
+    MapLattice,
+    PairLattice,
+    PowersetLattice,
+    UnitLattice,
+    join_with,
+)
+from repro.core.monads import ListMonad, StateT, StorePassing
+from repro.core.fixpoint import Collecting, explore_fp, kleene_iterate
+from repro.core.addresses import Addressable, ConcreteAddressing, KCFA, ZeroCFA
+from repro.core.store import BasicStore, CountingStore, StoreLike
+from repro.core.driver import run_analysis
+
+__all__ = [
+    "AbsNat",
+    "Addressable",
+    "BasicStore",
+    "Collecting",
+    "ConcreteAddressing",
+    "CountingStore",
+    "KCFA",
+    "Lattice",
+    "ListMonad",
+    "MapLattice",
+    "PairLattice",
+    "PowersetLattice",
+    "StateT",
+    "StoreLike",
+    "StorePassing",
+    "UnitLattice",
+    "ZeroCFA",
+    "explore_fp",
+    "join_with",
+    "kleene_iterate",
+    "run_analysis",
+]

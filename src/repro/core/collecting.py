@@ -1,0 +1,122 @@
+"""``Collecting`` instances for the ``StorePassing`` analysis monad (5.3.3, 6.5).
+
+These are the paper's two fixed-point domains, built *once* here and
+shared by every language:
+
+* :class:`PerStateStoreCollecting` -- the heap-cloning domain
+  ``P((PSigma x guts) x Store)``: every configuration carries its own
+  store (5.3.3).  Precise, potentially exponential (6.5).
+* :class:`SharedStoreCollecting` -- the widened domain
+  ``P(PSigma x guts) x Store`` obtained by sandwiching the per-state
+  step between the store-sharing ``alpha``/``gamma`` (6.5, 8.2).
+
+Both optionally weave an abstract garbage collector into the step
+(6.4): ``applyStep step = ... do { s' <- step s; gc s'; return s' } ...``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterable
+
+from repro.core.fixpoint import Collecting
+from repro.core.galois import store_sharing_alpha, store_sharing_gamma
+from repro.core.gc import GarbageCollector
+from repro.core.lattice import Lattice, PairLattice, PowersetLattice
+from repro.core.monads import StorePassing
+from repro.core.store import StoreLike
+
+
+class PerStateStoreCollecting(Collecting):
+    """The set-of-configurations domain ``P(((PSigma, guts), store))``.
+
+    ``inject`` instruments a machine state with the initial guts (the
+    ``HasInitial`` value, here ``initial_guts``) and the empty store;
+    ``apply_step`` runs the monadic step in every configuration and
+    collects all results -- the paper's
+
+    ``runStep ((s, t), sigma) = Set.fromList (runStateT (runStateT (step s) t) sigma)``
+    """
+
+    def __init__(
+        self,
+        monad: StorePassing,
+        store_like: StoreLike,
+        initial_guts: Any,
+        collector: GarbageCollector | None = None,
+    ):
+        self.monad = monad
+        self.store_like = store_like
+        self.initial_guts = initial_guts
+        self.collector = collector
+        self._lattice = PowersetLattice()
+
+    def lattice(self) -> Lattice:
+        return self._lattice
+
+    def inject(self, state: Any) -> frozenset:
+        return frozenset([((state, self.initial_guts), self.store_like.empty())])
+
+    def _instrumented(self, step: Callable[[Any], Any]) -> Callable[[Any], Any]:
+        """Weave GC into the step when a collector is configured (6.4)."""
+        if self.collector is None:
+            return step
+        monad = self.monad
+
+        def stepped(pstate: Any) -> Any:
+            return monad.bind(
+                step(pstate),
+                lambda nxt: monad.then(self.collector.gc(nxt), monad.unit(nxt)),
+            )
+
+        return stepped
+
+    def run_config(self, step: Callable[[Any], Any], config: tuple) -> frozenset:
+        """All configurations one monadic step away from ``config``."""
+        (pstate, guts), store = config
+        results = self.monad.run(self._instrumented(step)(pstate), guts, store)
+        return frozenset(results)
+
+    def apply_step(self, step: Callable[[Any], Any], fp: frozenset) -> frozenset:
+        out: set = set()
+        for config in fp:
+            out |= self.run_config(step, config)
+        return frozenset(out)
+
+    def successors_of(self, step: Callable[[Any], Any], config: tuple) -> Iterable[Hashable]:
+        """Adapter for :func:`repro.core.fixpoint.worklist_explore`."""
+        return self.run_config(step, config)
+
+
+class SharedStoreCollecting(Collecting):
+    """Shivers' single-threaded store as ``alpha . applyStep' . gamma`` (6.5).
+
+    The fixed-point domain is ``(P(PSigma x guts), store)``; the inner
+    per-state ``applyStep`` is reused on the gamma-expanded set, exactly
+    the paper's 8.2 definition.  Soundness is the fixed-point transfer
+    theorem across the store-sharing Galois connection.
+    """
+
+    def __init__(
+        self,
+        monad: StorePassing,
+        store_like: StoreLike,
+        initial_guts: Any,
+        collector: GarbageCollector | None = None,
+    ):
+        self.inner = PerStateStoreCollecting(monad, store_like, initial_guts, collector)
+        self.store_like = store_like
+        self._alpha = store_sharing_alpha(store_like.lattice())
+        self._gamma = store_sharing_gamma()
+        self._lattice = PairLattice(PowersetLattice(), store_like.lattice())
+
+    def lattice(self) -> Lattice:
+        return self._lattice
+
+    def inject(self, state: Any) -> tuple:
+        return (
+            frozenset([(state, self.inner.initial_guts)]),
+            self.store_like.empty(),
+        )
+
+    def apply_step(self, step: Callable[[Any], Any], fp: tuple) -> tuple:
+        return self._alpha(self.inner.apply_step(step, self._gamma(fp)))

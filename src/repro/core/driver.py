@@ -1,0 +1,76 @@
+"""``run_analysis``: the paper's three degrees of freedom, tied together (5.2, 7).
+
+``runAnalysis`` in the paper::
+
+    runAnalysis :: (CPSInterface m a, Lattice fp, Collecting m (PSigma a) fp)
+                => CExp -> fp
+    runAnalysis e = exploreFP mnext (e, Map.empty)
+
+Its signature names exactly what can vary:  (1) the monad, (2) the
+semantic-interface implementation, and (3) the analysis lattice with its
+fixed-point computation.  Here those arrive as the ``step`` function
+(already closed over a monad and an interface implementation by the
+language package) and a :class:`~repro.core.fixpoint.Collecting`
+instance; everything else is inert plumbing.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.collecting import PerStateStoreCollecting
+from repro.core.fixpoint import Collecting, explore_fp, worklist_explore
+
+
+def run_analysis(
+    collecting: Collecting,
+    step: Callable[[Any], Any],
+    initial_state: Any,
+    max_steps: int = 1_000_000,
+) -> Any:
+    """Compute the collecting semantics: ``exploreFP step (inject initial)``."""
+    return explore_fp(collecting, step, initial_state, max_steps=max_steps)
+
+
+def run_analysis_worklist(
+    collecting: PerStateStoreCollecting,
+    step: Callable[[Any], Any],
+    initial_state: Any,
+    max_states: int = 1_000_000,
+) -> frozenset:
+    """Same fixed point as :func:`run_analysis` on per-state-store domains,
+    computed by a frontier worklist (each configuration stepped once)."""
+    return worklist_explore(
+        collecting, step, initial_state, collecting.successors_of, max_states=max_states
+    )
+
+
+@dataclass
+class AnalysisRun:
+    """A timed analysis outcome, used by the benchmark harness and reports."""
+
+    result: Any
+    seconds: float
+    label: str = ""
+    metrics: dict = field(default_factory=dict)
+
+
+def timed_analysis(
+    collecting: Collecting,
+    step: Callable[[Any], Any],
+    initial_state: Any,
+    label: str = "",
+    worklist: bool = False,
+) -> AnalysisRun:
+    """Run an analysis under a wall-clock timer (benchmark harness helper)."""
+    start = _time.perf_counter()
+    if worklist:
+        if not isinstance(collecting, PerStateStoreCollecting):
+            raise TypeError("worklist evaluation needs a per-state-store domain")
+        result = run_analysis_worklist(collecting, step, initial_state)
+    else:
+        result = run_analysis(collecting, step, initial_state)
+    elapsed = _time.perf_counter() - start
+    return AnalysisRun(result=result, seconds=elapsed, label=label)

@@ -1,0 +1,173 @@
+"""Fixed-point computation, decoupled from the semantics (paper 5.2).
+
+The paper's third degree of freedom: the analysis lattice and the way a
+least fixed point is computed are independent of both the semantic
+interface and the monad.  This module provides
+
+* :func:`kleene_iterate` -- the direct transliteration of the paper's
+  ``kleeneIt``, ascending from bottom;
+* :func:`kleene_iterate_widened` -- the same loop with a widening
+  operator spliced between iterates, demonstrating that widening
+  strategies are definable independently of the semantics;
+* :class:`Collecting` -- the paper's ``Collecting m a fp`` class:
+  ``inject`` seeds the domain from a single machine state and
+  ``apply_step`` interprets one monadic transition over the whole domain;
+* :func:`explore_fp` -- the paper's ``exploreFP``, tying the two together
+  as ``lfp (\\s. inject c `join` applyStep step s)``;
+* :func:`reachable` / :func:`worklist_explore` -- a frontier-driven
+  evaluation strategy that computes the *same* fixed point as Kleene
+  iteration for the set-of-configurations domains, but touches each
+  configuration once (experiment E9 checks they agree).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterable
+
+from repro.core.lattice import Lattice
+
+
+class FixpointDiverged(Exception):
+    """Raised when iteration exceeds the configured step budget."""
+
+
+def kleene_iterate(
+    lattice: Lattice,
+    f: Callable[[Any], Any],
+    max_steps: int = 1_000_000,
+) -> Any:
+    """The paper's ``kleeneIt``: iterate ``f`` from bottom until post-fixed.
+
+    ``loop c = let c' = f c in if c' <= c then c else loop c'``
+
+    Correct for monotone ``f`` over a lattice of finite height; the
+    ``max_steps`` budget turns accidental divergence (e.g. analyses with
+    unbounded time, footnote 5 of the paper) into a clean error.
+    """
+    current = lattice.bottom()
+    for _ in range(max_steps):
+        nxt = f(current)
+        if lattice.leq(nxt, current):
+            return current
+        current = nxt
+    raise FixpointDiverged(f"no fixed point within {max_steps} Kleene iterations")
+
+
+def kleene_iterate_widened(
+    lattice: Lattice,
+    f: Callable[[Any], Any],
+    widen: Callable[[Any, Any], Any],
+    max_steps: int = 1_000_000,
+) -> Any:
+    """Kleene iteration accelerated by a widening operator.
+
+    ``widen(previous, next)`` must return an upper bound of both of its
+    arguments; soundness of the result then follows from the usual
+    widened-iteration argument.  With ``widen = lattice.join`` this
+    coincides with :func:`kleene_iterate`.
+    """
+    current = lattice.bottom()
+    for _ in range(max_steps):
+        nxt = f(current)
+        if lattice.leq(nxt, current):
+            return current
+        current = widen(current, nxt)
+    raise FixpointDiverged(f"no fixed point within {max_steps} widened iterations")
+
+
+class Collecting:
+    """The paper's ``Collecting m a fp`` type class.
+
+    The functional dependencies ``fp -> a`` and ``fp -> m`` become plain
+    object state: a ``Collecting`` instance *knows* its monad and its
+    state domain, fixing how a monadic step function is interpreted over
+    the fixed-point domain ``fp``.
+
+    Subclasses implement:
+
+    ``inject(a)``
+        wrap a single machine state into the bottom-most ``fp`` element,
+        instrumenting it with initial guts / store as required;
+
+    ``apply_step(step, fp)``
+        interpret one transition ``step : a -> m a`` over every
+        configuration in ``fp``, joining the outcomes.
+    """
+
+    def inject(self, state: Any) -> Any:
+        raise NotImplementedError
+
+    def apply_step(self, step: Callable[[Any], Any], fp: Any) -> Any:
+        raise NotImplementedError
+
+    def lattice(self) -> Lattice:
+        """The fixed-point domain as a lattice."""
+        raise NotImplementedError
+
+
+def explore_fp(
+    collecting: Collecting,
+    step: Callable[[Any], Any],
+    initial_state: Any,
+    max_steps: int = 1_000_000,
+) -> Any:
+    """The paper's ``exploreFP``: the collecting semantics as a least fixed point.
+
+    ``exploreFP step c = kleeneIt (\\s -> inject c `join` applyStep step s)``
+    """
+    lattice = collecting.lattice()
+    seed = collecting.inject(initial_state)
+
+    def functional(s: Any) -> Any:
+        return lattice.join(seed, collecting.apply_step(step, s))
+
+    return kleene_iterate(lattice, functional, max_steps=max_steps)
+
+
+# ---------------------------------------------------------------------------
+# Frontier-driven exploration (same fixed point, fewer step evaluations)
+# ---------------------------------------------------------------------------
+
+
+def reachable(
+    initial: Iterable[Hashable],
+    successors: Callable[[Hashable], Iterable[Hashable]],
+    max_states: int = 1_000_000,
+) -> frozenset:
+    """Transitive closure of ``successors`` from ``initial`` by worklist.
+
+    For a powerset fixed-point domain whose functional is
+    ``F(X) = X0 | { s' | s in X, s -> s' }`` this computes exactly
+    ``lfp F``, but evaluates the transition once per configuration rather
+    than once per configuration per Kleene round.
+    """
+    seen: set = set(initial)
+    frontier: list = list(seen)
+    while frontier:
+        if len(seen) > max_states:
+            raise FixpointDiverged(f"state space exceeded {max_states} configurations")
+        state = frontier.pop()
+        for nxt in successors(state):
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return frozenset(seen)
+
+
+def worklist_explore(
+    collecting: "Collecting",
+    step: Callable[[Any], Any],
+    initial_state: Any,
+    successors_of: Callable[[Callable, Hashable], Iterable[Hashable]],
+    max_states: int = 1_000_000,
+) -> frozenset:
+    """Worklist evaluation of a set-of-configurations collecting semantics.
+
+    ``successors_of(step, config)`` must enumerate the configurations a
+    single configuration steps to (i.e. one application of the monadic
+    ``step`` run in that configuration's guts and store).  The result is
+    the same fixed point :func:`explore_fp` computes for the powerset
+    domain (verified by experiment E9 / the fixpoint test suite).
+    """
+    seeds = collecting.inject(initial_state)
+    return reachable(seeds, lambda config: successors_of(step, config), max_states)

@@ -1,0 +1,146 @@
+"""Galois connections and the store-sharing widening (paper 5.1, 6.5).
+
+A Galois connection ``<C, leqC> <--gamma-- --alpha--> <A, leqA>`` is a
+pair of maps with ``alpha(c) leqA a  iff  c leqC gamma(a)``.  The class
+:class:`GaloisConnection` packages the two maps with their lattices and
+offers executable law checks (used by the property-based tests: with
+both lattices finite -- as in 6.5's equation (3) -- alpha and gamma are
+computable, and so are the laws).
+
+The concrete payoff in the paper is *store sharing* (Shivers'
+single-threaded store) as a Galois connection between the per-state-store
+domain and a set-of-states-plus-one-global-store domain::
+
+    <P(Sigma_t x Store), subset>  <-->  <P(Sigma_t) x Store, subset>
+
+``alpha`` joins all per-state stores into one global store; ``gamma``
+spreads the global store back to every state.  Widening an analysis is
+then just ``applyStep = alpha . applyStep' . gamma`` (6.5, 8.2) -- no
+change to the semantics, the monad, or the addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.core.lattice import Lattice, PairLattice, PowersetLattice
+
+
+@dataclass
+class GaloisConnection:
+    """An executable Galois connection between two lattices."""
+
+    concrete: Lattice
+    abstract: Lattice
+    alpha: Callable[[Any], Any]
+    gamma: Callable[[Any], Any]
+
+    def is_adjoint_on(self, c: Any, a: Any) -> bool:
+        """The defining equivalence, checked at a single point."""
+        return self.abstract.leq(self.alpha(c), a) == self.concrete.leq(c, self.gamma(a))
+
+    def check_laws(self, concrete_samples: Iterable[Any], abstract_samples: Iterable[Any]) -> bool:
+        """Extensive/reductive/monotonicity checks over sample elements.
+
+        Returns True when every sampled instance of
+        ``c leq gamma(alpha(c))``, ``alpha(gamma(a)) leq a`` and the
+        adjunction equivalence holds.
+        """
+        cs = list(concrete_samples)
+        as_ = list(abstract_samples)
+        for c in cs:
+            if not self.concrete.leq(c, self.gamma(self.alpha(c))):
+                return False
+        for a in as_:
+            if not self.abstract.leq(self.alpha(self.gamma(a)), a):
+                return False
+        for c in cs:
+            for a in as_:
+                if not self.is_adjoint_on(c, a):
+                    return False
+        return True
+
+
+class ConfigHoareLattice(Lattice):
+    """The per-state-store domain under the Hoare (lower powerdomain) order.
+
+    The paper writes the store-sharing connection (equation (3)) over
+    ``<P(Sigma_t x Store), subset>``, but literal set inclusion is too
+    fine: after ``alpha`` joins the stores, the original configurations
+    (with their smaller stores) are not literal members of
+    ``gamma(alpha(c))``.  The order that makes (3) a genuine Galois
+    connection compares configurations up to store growth::
+
+        X leq Y  iff  forall ((p,g), s) in X.
+                        exists ((p,g), s') in Y with s leq_store s'
+
+    This is a preorder (two sets can dominate each other without being
+    equal); ``equiv`` is the induced equivalence, which is all the
+    fixed-point machinery and the law checks need.
+    """
+
+    def __init__(self, store_lattice: Lattice):
+        self.store_lattice = store_lattice
+
+    def bottom(self) -> frozenset:
+        return frozenset()
+
+    def leq(self, x: frozenset, y: frozenset) -> bool:
+        for pair, store in x:
+            if not any(
+                pair == pair2 and self.store_lattice.leq(store, store2)
+                for pair2, store2 in y
+            ):
+                return False
+        return True
+
+    def join(self, x: frozenset, y: frozenset) -> frozenset:
+        return x | y
+
+    def meet(self, x: frozenset, y: frozenset) -> frozenset:
+        return x & y
+
+
+def store_sharing_alpha(store_lattice: Lattice) -> Callable[[frozenset], tuple]:
+    """``alpha``: collapse per-state stores into a single global store (6.5).
+
+    ``alpha = joinWith (\\((p, g), sigma) -> (singleton (p, g), sigma))``
+    """
+
+    def alpha(configs: frozenset) -> tuple:
+        states: set = set()
+        store = store_lattice.bottom()
+        for (pstate, guts), sigma in configs:
+            states.add((pstate, guts))
+            store = store_lattice.join(store, sigma)
+        return (frozenset(states), store)
+
+    return alpha
+
+
+def store_sharing_gamma() -> Callable[[tuple], frozenset]:
+    """``gamma``: spread the global store back over every state (6.5)."""
+
+    def gamma(widened: tuple) -> frozenset:
+        states, store = widened
+        return frozenset((pair, store) for pair in states)
+
+    return gamma
+
+
+def store_sharing_connection(store_lattice: Lattice) -> GaloisConnection:
+    """The full Galois connection of equation (3) in 6.5.
+
+    The concrete side carries the Hoare order of
+    :class:`ConfigHoareLattice` (see its docstring for why literal set
+    inclusion is too fine).
+    """
+    concrete = ConfigHoareLattice(store_lattice)
+    abstract = PairLattice(PowersetLattice(), store_lattice)
+    return GaloisConnection(
+        concrete=concrete,
+        abstract=abstract,
+        alpha=store_sharing_alpha(store_lattice),
+        gamma=store_sharing_gamma(),
+    )

@@ -1,0 +1,425 @@
+"""Complete lattices, transliterated from the paper's ``Lattice`` class (5.2).
+
+The paper defines::
+
+    class Lattice a where
+      bot :: a
+      top :: a
+      leq  :: a -> a -> Bool
+      join :: a -> a -> a
+      meet :: a -> a -> a
+
+Haskell resolves the instance from the *type*; Python has no such
+dispatch, so a lattice here is a first-class *instance object* (a
+:class:`Lattice`) describing a carrier set, and lattice *elements* are
+ordinary Python values (frozensets, PMaps, tuples, ...).  Composite
+lattices are built by composing instance objects, mirroring the paper's
+
+    instance Lattice ()
+    instance (Lattice a, Lattice b) => Lattice (a, b)
+    instance (Ord s, Eq s)          => Lattice (P s)
+    instance (Ord k, Lattice v)     => Lattice (k :-> v)
+
+exactly: :class:`UnitLattice`, :class:`PairLattice`,
+:class:`PowersetLattice` and :class:`MapLattice`.
+
+The module also houses the abstract-counting domain ``AbsNat = {0,1,inf}``
+with its abstract addition ``(+)`` (the paper's 6.3), because it is a
+lattice like any other and is reused by every counting store.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Iterable, TypeVar
+
+from repro.util.pcollections import PMap, pmap
+
+A = TypeVar("A")
+
+
+class Lattice(ABC):
+    """A complete lattice <C; leq, bot, top, join, meet> over Python values.
+
+    ``top`` may be unrepresentable (e.g. the powerset of an infinite
+    universe); such instances raise :class:`TopUndefined`.  All analysis
+    code only ever needs ``bot``, ``leq`` and ``join`` (Kleene iteration
+    ascends from bottom), so an undefined top is harmless in practice.
+    """
+
+    @abstractmethod
+    def bottom(self) -> Any:
+        """The least element."""
+
+    def top(self) -> Any:
+        """The greatest element, when representable."""
+        raise TopUndefined(f"{type(self).__name__} has no representable top element")
+
+    @abstractmethod
+    def leq(self, x: Any, y: Any) -> bool:
+        """The partial order: is ``x`` under ``y``?"""
+
+    @abstractmethod
+    def join(self, x: Any, y: Any) -> Any:
+        """Least upper bound of ``x`` and ``y``."""
+
+    @abstractmethod
+    def meet(self, x: Any, y: Any) -> Any:
+        """Greatest lower bound of ``x`` and ``y``."""
+
+    # -- derived operations -------------------------------------------------
+
+    def join_all(self, elements: Iterable[Any]) -> Any:
+        """Least upper bound of finitely many elements (bottom if none)."""
+        result = self.bottom()
+        for element in elements:
+            result = self.join(result, element)
+        return result
+
+    def equiv(self, x: Any, y: Any) -> bool:
+        """Order-equivalence: ``x <= y`` and ``y <= x``."""
+        return self.leq(x, y) and self.leq(y, x)
+
+
+class TopUndefined(Exception):
+    """Raised when a lattice cannot represent its top element."""
+
+
+# ---------------------------------------------------------------------------
+# instance Lattice ()
+# ---------------------------------------------------------------------------
+
+
+class UnitLattice(Lattice):
+    """The one-point lattice; its sole element is ``()``.
+
+    Used as the "guts" component when an analysis carries no extra state
+    (e.g. context-insensitive analyses where time is trivial).
+    """
+
+    def bottom(self) -> tuple:
+        return ()
+
+    def top(self) -> tuple:
+        return ()
+
+    def leq(self, x: tuple, y: tuple) -> bool:
+        return True
+
+    def join(self, x: tuple, y: tuple) -> tuple:
+        return ()
+
+    def meet(self, x: tuple, y: tuple) -> tuple:
+        return ()
+
+
+# ---------------------------------------------------------------------------
+# instance (Ord s, Eq s) => Lattice (P s)
+# ---------------------------------------------------------------------------
+
+
+class PowersetLattice(Lattice):
+    """The powerset lattice ``<P(S); subset, {}, S, union, intersection>``.
+
+    Elements are ``frozenset``s.  ``top`` is defined only when a finite
+    ``universe`` is supplied; the collecting-semantics domains never need
+    it (Kleene iteration ascends from the empty set).
+    """
+
+    def __init__(self, universe: frozenset | None = None):
+        self.universe = None if universe is None else frozenset(universe)
+
+    def bottom(self) -> frozenset:
+        return frozenset()
+
+    def top(self) -> frozenset:
+        if self.universe is None:
+            raise TopUndefined("powerset lattice over an unbounded universe")
+        return self.universe
+
+    def leq(self, x: frozenset, y: frozenset) -> bool:
+        return x <= y
+
+    def join(self, x: frozenset, y: frozenset) -> frozenset:
+        return x | y
+
+    def meet(self, x: frozenset, y: frozenset) -> frozenset:
+        return x & y
+
+
+# ---------------------------------------------------------------------------
+# instance (Lattice a, Lattice b) => Lattice (a, b)
+# ---------------------------------------------------------------------------
+
+
+class PairLattice(Lattice):
+    """Component-wise lattice on pairs; generalized by :class:`ProductLattice`."""
+
+    def __init__(self, first: Lattice, second: Lattice):
+        self.first = first
+        self.second = second
+
+    def bottom(self) -> tuple:
+        return (self.first.bottom(), self.second.bottom())
+
+    def top(self) -> tuple:
+        return (self.first.top(), self.second.top())
+
+    def leq(self, x: tuple, y: tuple) -> bool:
+        return self.first.leq(x[0], y[0]) and self.second.leq(x[1], y[1])
+
+    def join(self, x: tuple, y: tuple) -> tuple:
+        return (self.first.join(x[0], y[0]), self.second.join(x[1], y[1]))
+
+    def meet(self, x: tuple, y: tuple) -> tuple:
+        return (self.first.meet(x[0], y[0]), self.second.meet(x[1], y[1]))
+
+
+class ProductLattice(Lattice):
+    """Component-wise lattice on n-tuples."""
+
+    def __init__(self, *components: Lattice):
+        if not components:
+            raise ValueError("a product lattice needs at least one component")
+        self.components = components
+
+    def bottom(self) -> tuple:
+        return tuple(c.bottom() for c in self.components)
+
+    def top(self) -> tuple:
+        return tuple(c.top() for c in self.components)
+
+    def leq(self, x: tuple, y: tuple) -> bool:
+        return all(c.leq(a, b) for c, a, b in zip(self.components, x, y))
+
+    def join(self, x: tuple, y: tuple) -> tuple:
+        return tuple(c.join(a, b) for c, a, b in zip(self.components, x, y))
+
+    def meet(self, x: tuple, y: tuple) -> tuple:
+        return tuple(c.meet(a, b) for c, a, b in zip(self.components, x, y))
+
+
+# ---------------------------------------------------------------------------
+# instance (Ord k, Lattice v) => Lattice (k :-> v)
+# ---------------------------------------------------------------------------
+
+
+class MapLattice(Lattice):
+    """The map lattice ``k :-> v`` with point-wise order over a value lattice.
+
+    Elements are :class:`~repro.util.pcollections.PMap`s.  An absent key
+    denotes the value-lattice bottom, so the empty map is the lattice
+    bottom and join is the paper's store join::
+
+        sigma |_| sigma' = \\a. sigma(a) `join` sigma'(a)
+    """
+
+    def __init__(self, value_lattice: Lattice):
+        self.value_lattice = value_lattice
+
+    def bottom(self) -> PMap:
+        return pmap()
+
+    def leq(self, x: PMap, y: PMap) -> bool:
+        value = self.value_lattice
+        for key, vx in x.items():
+            if key in y:
+                if not value.leq(vx, y[key]):
+                    return False
+            elif not value.leq(vx, value.bottom()):
+                return False
+        return True
+
+    def join(self, x: PMap, y: PMap) -> PMap:
+        return x.update_with(self.value_lattice.join, y)
+
+    def meet(self, x: PMap, y: PMap) -> PMap:
+        value = self.value_lattice
+        out: dict = {}
+        for key, vx in x.items():
+            if key in y:
+                out[key] = value.meet(vx, y[key])
+        return pmap(out)
+
+    def lookup(self, m: PMap, key: Any) -> Any:
+        """Total lookup: absent keys read as the value-lattice bottom."""
+        if key in m:
+            return m[key]
+        return self.value_lattice.bottom()
+
+
+# ---------------------------------------------------------------------------
+# Flat and lifted lattices (used by constant-style abstractions and tests)
+# ---------------------------------------------------------------------------
+
+_BOT = ("<flat-bottom>",)
+_TOP = ("<flat-top>",)
+
+
+class FlatLattice(Lattice):
+    """The flat lattice over a set of incomparable points: bot <= x <= top.
+
+    Elements are either :data:`FlatLattice.BOT`, :data:`FlatLattice.TOP`,
+    or any hashable payload value.  Distinct payloads are incomparable and
+    join to top.
+    """
+
+    BOT = _BOT
+    TOP = _TOP
+
+    def bottom(self):
+        return _BOT
+
+    def top(self):
+        return _TOP
+
+    def leq(self, x, y) -> bool:
+        if x == _BOT or y == _TOP:
+            return True
+        if x == _TOP:
+            return y == _TOP
+        if y == _BOT:
+            return False
+        return x == y
+
+    def join(self, x, y):
+        if x == _BOT:
+            return y
+        if y == _BOT:
+            return x
+        if x == y:
+            return x
+        return _TOP
+
+    def meet(self, x, y):
+        if x == _TOP:
+            return y
+        if y == _TOP:
+            return x
+        if x == y:
+            return x
+        return _BOT
+
+
+class DualLattice(Lattice):
+    """The order-dual of a lattice (top/bottom and join/meet swapped)."""
+
+    def __init__(self, inner: Lattice):
+        self.inner = inner
+
+    def bottom(self):
+        return self.inner.top()
+
+    def top(self):
+        return self.inner.bottom()
+
+    def leq(self, x, y) -> bool:
+        return self.inner.leq(y, x)
+
+    def join(self, x, y):
+        return self.inner.meet(x, y)
+
+    def meet(self, x, y):
+        return self.inner.join(x, y)
+
+
+# ---------------------------------------------------------------------------
+# AbsNat: the abstract-counting domain (paper 6.3)
+# ---------------------------------------------------------------------------
+
+
+class AbsNat(enum.Enum):
+    """Abstract naturals ``N^ = {0, 1, inf}`` ordered as the chain 0 <= 1 <= inf.
+
+    ``AbsNat`` both *is* a lattice element (for :class:`AbsNatLattice`)
+    and carries the abstract addition ``(+)`` from the paper::
+
+        AZero (+) n = n
+        n (+) AZero = n
+        n (+) m     = AMany
+
+    A count of :data:`AbsNat.ONE` on an abstract address certifies that it
+    stands for at most one concrete address, licensing strong updates
+    (must-alias / environment analysis).
+    """
+
+    ZERO = 0
+    ONE = 1
+    MANY = 2
+
+    def plus(self, other: "AbsNat") -> "AbsNat":
+        """The paper's abstract addition ``(+)`` on abstract naturals."""
+        if self is AbsNat.ZERO:
+            return other
+        if other is AbsNat.ZERO:
+            return self
+        return AbsNat.MANY
+
+    def __le__(self, other: "AbsNat") -> bool:
+        return self.value <= other.value
+
+    def __lt__(self, other: "AbsNat") -> bool:
+        return self.value < other.value
+
+    def __repr__(self) -> str:  # compact in analysis dumps
+        return {"ZERO": "0#", "ONE": "1#", "MANY": "inf#"}[self.name]
+
+
+class AbsNatLattice(Lattice):
+    """``N^`` as the chain lattice 0 <= 1 <= inf (paper 6.3).
+
+    The paper notes the only requirement on ``N^`` is that it be a
+    lattice; the degenerate one-point variant (counting switched off) is
+    :class:`TrivialCountLattice`.
+    """
+
+    def bottom(self) -> AbsNat:
+        return AbsNat.ZERO
+
+    def top(self) -> AbsNat:
+        return AbsNat.MANY
+
+    def leq(self, x: AbsNat, y: AbsNat) -> bool:
+        return x.value <= y.value
+
+    def join(self, x: AbsNat, y: AbsNat) -> AbsNat:
+        return x if x.value >= y.value else y
+
+    def meet(self, x: AbsNat, y: AbsNat) -> AbsNat:
+        return x if x.value <= y.value else y
+
+
+class TrivialCountLattice(Lattice):
+    """The degenerate count domain ``N^ = {inf}``: abstract counting off."""
+
+    def bottom(self) -> AbsNat:
+        return AbsNat.MANY
+
+    def top(self) -> AbsNat:
+        return AbsNat.MANY
+
+    def leq(self, x: AbsNat, y: AbsNat) -> bool:
+        return True
+
+    def join(self, x: AbsNat, y: AbsNat) -> AbsNat:
+        return AbsNat.MANY
+
+    def meet(self, x: AbsNat, y: AbsNat) -> AbsNat:
+        return AbsNat.MANY
+
+
+# ---------------------------------------------------------------------------
+# joinWith (paper 5.3.3)
+# ---------------------------------------------------------------------------
+
+
+def join_with(lattice: Lattice, f: Callable[[Any], Any], elements: Iterable[Any]) -> Any:
+    """The paper's ``joinWith``: map ``f`` over a collection, folding with join.
+
+    ``joinWith f = Set.foldr ((join) . f) bot``
+    """
+    result = lattice.bottom()
+    for element in elements:
+        result = lattice.join(result, f(element))
+    return result

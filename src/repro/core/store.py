@@ -1,0 +1,206 @@
+"""``StoreLike`` and counting stores: the store as a swappable component (6.2-6.3).
+
+The paper's class::
+
+    class (Eq a, Lattice s, Lattice d) => StoreLike a s d | s -> a, s -> d where
+      sigma0      :: s
+      bind        :: s -> a -> d -> s
+      replace     :: s -> a -> d -> s
+      fetch       :: s -> a -> d
+      filterStore :: s -> (a -> Bool) -> s
+
+binds together addresses ``a``, a store representation ``s`` and the
+store co-domain ``d``.  Here a :class:`StoreLike` object carries its
+value-set lattice and exposes the store-set lattice (needed by the
+store-sharing Galois connection of 6.5).
+
+Two instances:
+
+* :class:`BasicStore` -- ``a :-> P(Val)``, the plain join-on-bind store;
+* :class:`CountingStore` -- ``a :-> (P(Val), AbsNat)``: every binding also
+  tracks how many times its address has been allocated, in the abstract
+  naturals ``{0,1,inf}`` (6.3).  The :class:`ACounter` mix-in exposes the
+  counts; a count of 1 licenses *strong updates* via :meth:`StoreLike.update`.
+
+Because the store is parameterized over addresses and value sets, these
+instances are reused untouched by all three language definitions.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Hashable, Iterable
+
+from repro.core.lattice import (
+    AbsNat,
+    AbsNatLattice,
+    Lattice,
+    MapLattice,
+    PairLattice,
+    PowersetLattice,
+)
+from repro.util.pcollections import PMap, pmap
+
+
+class StoreLike(ABC):
+    """The store abstraction: create, bind, replace, fetch, filter.
+
+    ``d`` (the co-domain) is always a value-*set* here, i.e. an element
+    of ``self.value_lattice`` (a powerset lattice), matching the paper's
+    use ``StoreLike a s (P (Val a))``.
+    """
+
+    def __init__(self, value_lattice: Lattice | None = None):
+        self.value_lattice: Lattice = value_lattice or PowersetLattice()
+
+    @abstractmethod
+    def empty(self) -> Any:
+        """``sigma0``: the empty store."""
+
+    @abstractmethod
+    def bind(self, store: Any, addr: Hashable, d: Any) -> Any:
+        """Weak update: join ``d`` into the values at ``addr``."""
+
+    @abstractmethod
+    def replace(self, store: Any, addr: Hashable, d: Any) -> Any:
+        """Strong update: overwrite the values at ``addr`` with ``d``."""
+
+    @abstractmethod
+    def fetch(self, store: Any, addr: Hashable) -> Any:
+        """Look up the value set at ``addr`` (bottom when unbound)."""
+
+    @abstractmethod
+    def filter_store(self, store: Any, keep: Callable[[Hashable], bool]) -> Any:
+        """Restrict the store's domain to addresses satisfying ``keep``."""
+
+    @abstractmethod
+    def addresses(self, store: Any) -> Iterable[Hashable]:
+        """The store's domain (for reachability sweeps and reports)."""
+
+    @abstractmethod
+    def lattice(self) -> Lattice:
+        """The lattice of stores themselves (for widening and joins)."""
+
+    # -- derived -----------------------------------------------------------
+
+    def bind_one(self, store: Any, addr: Hashable, value: Any) -> Any:
+        """Bind a single value, wrapped as a singleton (the common case)."""
+        return self.bind(store, addr, frozenset([value]))
+
+    def update(self, store: Any, addr: Hashable, d: Any) -> Any:
+        """Cardinality-aware update: strong when provably safe, else weak.
+
+        The default store has no cardinality information, so this is a
+        weak update; :class:`CountingStore` overrides it to replace when
+        the abstract count at ``addr`` is exactly one.
+        """
+        return self.bind(store, addr, d)
+
+
+class BasicStore(StoreLike):
+    """``Store a = a :-> P(Val)`` with join-on-bind (the paper's default)."""
+
+    def __init__(self, value_lattice: Lattice | None = None):
+        super().__init__(value_lattice)
+        self._lattice = MapLattice(self.value_lattice)
+
+    def empty(self) -> PMap:
+        return pmap()
+
+    def bind(self, store: PMap, addr: Hashable, d: Any) -> PMap:
+        if addr in store:
+            return store.set(addr, self.value_lattice.join(store[addr], d))
+        return store.set(addr, d)
+
+    def replace(self, store: PMap, addr: Hashable, d: Any) -> PMap:
+        return store.set(addr, d)
+
+    def fetch(self, store: PMap, addr: Hashable) -> Any:
+        if addr in store:
+            return store[addr]
+        return self.value_lattice.bottom()
+
+    def filter_store(self, store: PMap, keep: Callable[[Hashable], bool]) -> PMap:
+        return store.restrict(keep)
+
+    def addresses(self, store: PMap) -> Iterable[Hashable]:
+        return store.keys()
+
+    def lattice(self) -> Lattice:
+        return self._lattice
+
+
+class ACounter(ABC):
+    """The paper's ``ACounter``: stores that can report abstract counts (6.3)."""
+
+    @abstractmethod
+    def count(self, store: Any, addr: Hashable) -> AbsNat:
+        """How many concrete allocations ``addr`` may stand for."""
+
+
+class CountingStore(StoreLike, ACounter):
+    """``CountingStore a d = a :-> (d, AbsNat)``: store + abstract counter (6.3).
+
+    ``bind`` joins the value set *and* bumps the count with the abstract
+    addition ``(+) 1``, so a count of :data:`AbsNat.ONE` proves the
+    address was allocated along every path at most once -- the
+    cardinality bound behind must-alias and environment analysis.  The
+    counting store plugs into any analysis in place of a
+    :class:`BasicStore` with **no change to the semantics**, which is the
+    point of 6.3 (checked by experiment E5).
+    """
+
+    def __init__(self, value_lattice: Lattice | None = None):
+        super().__init__(value_lattice)
+        self.count_lattice = AbsNatLattice()
+        self._entry_lattice = PairLattice(self.value_lattice, self.count_lattice)
+        self._lattice = MapLattice(self._entry_lattice)
+
+    def empty(self) -> PMap:
+        return pmap()
+
+    def bind(self, store: PMap, addr: Hashable, d: Any) -> PMap:
+        if addr in store:
+            old_d, old_n = store[addr]
+            return store.set(
+                addr, (self.value_lattice.join(old_d, d), old_n.plus(AbsNat.ONE))
+            )
+        return store.set(addr, (d, AbsNat.ONE))
+
+    def replace(self, store: PMap, addr: Hashable, d: Any) -> PMap:
+        # A strong update rewrites the value but does not allocate, so the
+        # count is preserved (it still bounds how many concrete addresses
+        # this abstract address denotes).
+        if addr in store:
+            _old_d, old_n = store[addr]
+            return store.set(addr, (d, old_n))
+        return store.set(addr, (d, AbsNat.ONE))
+
+    def fetch(self, store: PMap, addr: Hashable) -> Any:
+        if addr in store:
+            return store[addr][0]
+        return self.value_lattice.bottom()
+
+    def count(self, store: PMap, addr: Hashable) -> AbsNat:
+        if addr in store:
+            return store[addr][1]
+        return AbsNat.ZERO
+
+    def filter_store(self, store: PMap, keep: Callable[[Hashable], bool]) -> PMap:
+        return store.restrict(keep)
+
+    def addresses(self, store: PMap) -> Iterable[Hashable]:
+        return store.keys()
+
+    def lattice(self) -> Lattice:
+        return self._lattice
+
+    def update(self, store: PMap, addr: Hashable, d: Any) -> PMap:
+        """Strong update when the count permits, weak otherwise."""
+        if self.count(store, addr) is AbsNat.ONE:
+            return self.replace(store, addr, d)
+        return self.bind(store, addr, d)
+
+    def singleton_addresses(self, store: PMap) -> frozenset:
+        """Addresses whose abstract count is exactly one (must-alias facts)."""
+        return frozenset(a for a in store if store[a][1] is AbsNat.ONE)

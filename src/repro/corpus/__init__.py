@@ -1,0 +1,10 @@
+"""Benchmark program corpus for all three languages.
+
+* :mod:`repro.corpus.cps_programs` -- handwritten CPS terms and scalable
+  generator families (polyvariance chains, store-cloning blowups);
+* :mod:`repro.corpus.lam_programs` -- direct-style lambda-calculus
+  programs (Church arithmetic, the k-CFA-paradox example, ``blur``,
+  ``eta``, ``sat``), shared by the CESK machine and -- via the CPS
+  transform -- by the CPS analyses;
+* :mod:`repro.corpus.fj_programs`  -- Featherweight Java programs.
+"""

@@ -1,0 +1,200 @@
+"""Featherweight Java corpus programs.
+
+The classics: the Pair example from the FJ paper, dynamic dispatch
+through a shared helper (the mj09 pattern transplanted to objects, where
+context-sensitivity shows up as class-flow precision), double dispatch
+(visitor), and casts that may or may not fail.
+"""
+
+from __future__ import annotations
+
+from repro.fj.parser import parse_program
+from repro.fj.syntax import Program
+
+#: The Pair example from Igarashi-Pierce-Wadler, with a functional setter.
+PAIR = """
+class A extends Object { }
+class B extends Object { }
+class Pair extends Object {
+  Object fst;
+  Object snd;
+  Pair setfst(Object newfst) { return new Pair(newfst, this.snd); }
+}
+new Pair(new A(), new B()).setfst(new B()).fst
+"""
+
+#: The mj09 pattern in FJ: one identity method, two call sites with
+#: different argument classes.  0CFA merges {A, B} at both a and b;
+#: 1CFA keeps them apart.
+ID_TWICE = """
+class A extends Object { }
+class B extends Object { }
+class Id extends Object {
+  Object id(Object x) { return x; }
+}
+class Client extends Object {
+  Object run(Id i) {
+    return new Pair(i.id(new A()), i.id(new B())).fst;
+  }
+}
+class Pair extends Object {
+  Object fst;
+  Object snd;
+}
+new Client().run(new Id())
+"""
+
+#: Dynamic dispatch: which speak() bodies are reachable?
+ANIMALS = """
+class Animal extends Object {
+  Object speak() { return new Silence(); }
+}
+class Silence extends Object { }
+class Bark extends Object { }
+class Meow extends Object { }
+class Dog extends Animal {
+  Object speak() { return new Bark(); }
+}
+class Cat extends Animal {
+  Object speak() { return new Meow(); }
+}
+class Kennel extends Object {
+  Object poke(Animal a) { return a.speak(); }
+}
+class Pair extends Object {
+  Object fst;
+  Object snd;
+}
+new Pair(new Kennel().poke(new Dog()), new Kennel().poke(new Cat())).fst
+"""
+
+#: Visitor-style double dispatch over two shapes.
+VISITOR = """
+class Shape extends Object {
+  Object accept(Visitor v) { return this; }
+}
+class Circle extends Shape {
+  Object accept(Visitor v) { return v.circle(this); }
+}
+class Square extends Shape {
+  Object accept(Visitor v) { return v.square(this); }
+}
+class Visitor extends Object {
+  Object circle(Circle c) { return new TagC(); }
+  Object square(Square s) { return new TagS(); }
+}
+class TagC extends Object { }
+class TagS extends Object { }
+class Pair extends Object {
+  Object fst;
+  Object snd;
+}
+new Pair(new Circle().accept(new Visitor()), new Square().accept(new Visitor())).fst
+"""
+
+#: An always-safe downcast (the static type loses information; the cast
+#: recovers it) -- the analysis should prove it cannot fail.
+SAFE_CAST = """
+class A extends Object {
+  Object m() { return new A(); }
+}
+class Holder extends Object {
+  Object get(Object x) { return x; }
+}
+((A) new Holder().get(new A())).m()
+"""
+
+#: A downcast that fails on the concrete run (and shows up in the
+#: may-fail cast report).
+BAD_CAST = """
+class A extends Object { }
+class B extends Object { }
+class Holder extends Object {
+  Object get(Object x) { return x; }
+}
+(A) new Holder().get(new B())
+"""
+
+#: A linked list with a recursive traversal: the walk recurses through
+#: Cons cells to the Nil, exercising recursive dispatch and
+#: store-allocated object structure (the analysis must follow field
+#: addresses through the heap).
+LIST_LOOP = """
+class Nil extends Object {
+  Object headOr(Object dflt) { return dflt; }
+  Object walk() { return this; }
+}
+class Cons extends Nil {
+  Object head;
+  Nil tail;
+  Object headOr(Object dflt) { return this.head; }
+  Object walk() { return this.tail.walk(); }
+}
+class Payload extends Object { }
+new Cons(new Payload(), new Cons(new Payload(), new Nil())).walk()
+"""
+
+#: Church booleans as objects: select between branches by dynamic
+#: dispatch -- the object-oriented mirror of the lambda encodings.
+CHURCH_BOOL = """
+class Bool extends Object {
+  Object pick(Object then, Object otherwise) { return then; }
+}
+class True extends Bool {
+  Object pick(Object then, Object otherwise) { return then; }
+}
+class False extends Bool {
+  Object pick(Object then, Object otherwise) { return otherwise; }
+}
+class Branchy extends Object {
+  Object choose(Bool b) { return b.pick(new Yes(), new No()); }
+}
+class Yes extends Object { }
+class No extends Object { }
+class Pair extends Object {
+  Object fst;
+  Object snd;
+}
+new Pair(new Branchy().choose(new True()), new Branchy().choose(new False())).fst
+"""
+
+PROGRAMS: dict[str, Program] = {}
+
+
+def _register(name: str, source: str) -> None:
+    PROGRAMS[name] = parse_program(source)
+
+
+_register("pair", PAIR)
+_register("id-twice", ID_TWICE)
+_register("animals", ANIMALS)
+_register("visitor", VISITOR)
+_register("safe-cast", SAFE_CAST)
+_register("bad-cast", BAD_CAST)
+_register("list-walk", LIST_LOOP)
+_register("church-bool", CHURCH_BOOL)
+
+
+def program(name: str) -> Program:
+    return PROGRAMS[name]
+
+
+def dispatch_chain(n: int) -> Program:
+    """``n`` wrapper classes each forwarding through the same identity
+    method: the FJ analogue of :func:`repro.corpus.cps_programs.id_chain`.
+
+    Monovariant analysis merges all ``n`` payload classes at the shared
+    parameter; 1CFA keeps each call site's class separate.
+    """
+    if n < 1:
+        raise ValueError("chain length must be at least 1")
+    classes = ["class Id extends Object { Object id(Object x) { return x; } }"]
+    for i in range(n):
+        classes.append(f"class P{i} extends Object {{ }}")
+    fields = []
+    for i in range(n):
+        fields.append(f"  Object f{i};")
+    classes.append("class Tuple extends Object {\n" + "\n".join(fields) + "\n}")
+    args = ", ".join(f"new Id().id(new P{i}())" for i in range(n))
+    main = f"new Tuple({args}).f0"
+    return parse_program("\n".join(classes) + "\n" + main)

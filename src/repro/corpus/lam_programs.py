@@ -1,0 +1,125 @@
+"""Direct-style lambda-calculus corpus programs.
+
+These feed both the CESK machine directly and -- through
+:func:`repro.lam.cps_transform.cps_convert` -- the CPS analyses, so the
+cross-language experiments can compare the two pipelines on the same
+source.
+"""
+
+from __future__ import annotations
+
+from repro.lam.parser import parse_expr
+from repro.lam.syntax import App, Expr, Lam, Let, Var
+
+#: Identity applied to identity.
+ID_SIMPLE = "(let ((id (lambda (x) x))) (id (lambda (y) y)))"
+
+#: The k-CFA-paradox example in direct style: one identity, two call sites.
+MJ09_DIRECT = """
+(let* ((id (lambda (x) x))
+       (a (id (lambda (z) z)))
+       (b (id (lambda (y) y))))
+  b)
+"""
+
+#: Eta-expansion interposed between uses (the classic 'eta' benchmark shape):
+#: the eta-wrapper is a second identity-like merge point.
+ETA = """
+(let* ((id (lambda (x) x))
+       (eta (lambda (y) (id y)))
+       (a (eta (lambda (u) u)))
+       (b (eta (lambda (w) w))))
+  (a b))
+"""
+
+#: Church numeral two applied twice: exercises higher-order flow through
+#: self-application of a two-argument curried function.
+CHURCH_TWO_TWO = """
+(let* ((two (lambda (f) (lambda (x) (f (f x)))))
+       (inc (lambda (u) u)))
+  (((two two) inc) (lambda (q) q)))
+"""
+
+#: The divergent omega combinator (terminates abstractly only).
+OMEGA_DIRECT = "((lambda (x) (x x)) (lambda (y) (y y)))"
+
+#: A Z-combinator loop: concretely divergent, abstractly a tight cycle.
+Z_LOOP = """
+(let ((z (lambda (f)
+           ((lambda (g) (f (lambda (v) ((g g) v))))
+            (lambda (g) (f (lambda (v) ((g g) v))))))))
+  ((z (lambda (self) (lambda (n) (self n)))) (lambda (w) w)))
+"""
+
+PROGRAMS: dict[str, Expr] = {}
+
+
+def _register(name: str, source: str) -> None:
+    PROGRAMS[name] = parse_expr(source)
+
+
+_register("id-simple", ID_SIMPLE)
+_register("mj09", MJ09_DIRECT)
+_register("eta", ETA)
+_register("church-two-two", CHURCH_TWO_TWO)
+_register("omega", OMEGA_DIRECT)
+_register("z-loop", Z_LOOP)
+
+
+def program(name: str) -> Expr:
+    return PROGRAMS[name]
+
+
+# ---------------------------------------------------------------------------
+# Generator families
+# ---------------------------------------------------------------------------
+
+
+def church_numeral(n: int) -> Expr:
+    """The Church numeral ``n`` as a direct-style term."""
+    if n < 0:
+        raise ValueError("Church numerals are non-negative")
+    body: Expr = Var("x")
+    for _ in range(n):
+        body = App(Var("f"), (body,))
+    return Lam(("f",), Lam(("x",), body))
+
+
+def church_add_program(m: int, n: int) -> Expr:
+    """Compute ``m + n`` on Church numerals and normalize via an identity.
+
+    ``plus = (lambda (m n) (lambda (f) (lambda (x) ((m f) ((n f) x)))))``;
+    the sum is forced by applying it to an identity step function and a
+    distinguished base value, so the analysis sees the full unfolding.
+    """
+    plus = parse_expr("(lambda (m) (lambda (n) (lambda (f) (lambda (x) ((m f) ((n f) x))))))")
+    total = App(App(plus, (church_numeral(m),)), (church_numeral(n),))
+    return App(App(total, (parse_expr("(lambda (u) u)"),)), (parse_expr("(lambda (q) q)"),))
+
+
+def eta_chain(n: int) -> Expr:
+    """``n`` nested eta-wrappers around one identity: each layer is a merge
+    point for monovariant analyses, so precision loss compounds with depth."""
+    if n < 1:
+        raise ValueError("chain length must be at least 1")
+    body: Expr = Var("w0")
+    expr: Expr = Let("w0", App(Var("e0"), (Lam(("u0",), Var("u0")),)), body)
+    for i in range(1, n):
+        expr = Let(
+            f"w{i}", App(Var(f"e{i}"), (Lam((f"u{i}",), Var(f"u{i}")),)), expr
+        )
+    for i in reversed(range(n)):
+        inner_target = "id" if i == 0 else f"e{i-1}"
+        expr = Let(f"e{i}", Lam((f"y{i}",), App(Var(inner_target), (Var(f"y{i}"),))), expr)
+    return Let("id", Lam(("x",), Var("x")), expr)
+
+
+def apply_tower(n: int) -> Expr:
+    """``n`` sequential applications of fresh identities (pure size scaling)."""
+    if n < 1:
+        raise ValueError("tower height must be at least 1")
+    expr: Expr = Var(f"v{n - 1}")
+    for i in reversed(range(n)):
+        prev = Lam((f"z{i}",), Var(f"z{i}")) if i == 0 else Var(f"v{i-1}")
+        expr = Let(f"v{i}", App(Lam((f"x{i}",), Var(f"x{i}")), (prev,)), expr)
+    return expr

@@ -1,0 +1,49 @@
+"""Featherweight Java, monadically analyzed.
+
+The paper's third calculus: "by plugging the same 'context-insensitivity
+monad' into a monadically-parameterized semantics for Java or for the
+lambda calculus, it yields the expected context-insensitive analysis"
+(section 1).  This package supplies the complete substrate --
+
+* :mod:`repro.fj.syntax`      -- FJ terms, classes, programs
+* :mod:`repro.fj.class_table` -- subtyping, field/method lookup
+* :mod:`repro.fj.typecheck`   -- the FJ type system (with stupid-cast warnings)
+* :mod:`repro.fj.parser`      -- a Java-ish concrete syntax
+* :mod:`repro.fj.machine`     -- CESK-style states, objects, frames
+* :mod:`repro.fj.semantics`   -- ``FJInterface`` and the monadic step
+* :mod:`repro.fj.concrete`    -- the concrete machine
+* :mod:`repro.fj.analysis`    -- the abstract analysis family
+
+-- and instantiates it with the *same* meta-level monadic components as
+the CPS and CESK machines.
+"""
+
+from repro.fj.syntax import Cast, ClassDef, FieldAccess, Invoke, MethodDef, New, Program, VarE
+from repro.fj.class_table import ClassTable
+from repro.fj.parser import parse_program
+from repro.fj.typecheck import TypeError_, typecheck_program
+from repro.fj.concrete import evaluate_fj
+from repro.fj.analysis import (
+    analyse_fj_kcfa,
+    analyse_fj_shared,
+    analyse_fj_zerocfa,
+)
+
+__all__ = [
+    "Cast",
+    "ClassDef",
+    "ClassTable",
+    "FieldAccess",
+    "Invoke",
+    "MethodDef",
+    "New",
+    "Program",
+    "TypeError_",
+    "VarE",
+    "analyse_fj_kcfa",
+    "analyse_fj_shared",
+    "analyse_fj_zerocfa",
+    "evaluate_fj",
+    "parse_program",
+    "typecheck_program",
+]

@@ -1,0 +1,105 @@
+"""The concrete FJ machine: Identity monad over a mutable heap."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.core.monads import Identity
+from repro.fj.class_table import ClassTable
+from repro.fj.machine import HALT_ADDRESS, HaltF, ObjV, PState, inject_fj
+from repro.fj.semantics import FJInterface, FJStuck, is_final_fj, mnext_fj
+from repro.fj.syntax import Expr, Program
+from repro.util.pcollections import PMap
+
+
+@dataclass(frozen=True)
+class HeapAddr:
+    index: int
+
+    def __repr__(self) -> str:
+        return f"#{self.index}"
+
+
+class ConcreteFJInterface(FJInterface):
+    """The FJ interface over the real heap (deterministic)."""
+
+    def __init__(self, table: ClassTable):
+        super().__init__(Identity(), table)
+        self.heap: dict = {HALT_ADDRESS: HaltF()}
+        self._next = 0
+
+    def _fresh(self) -> HeapAddr:
+        addr = HeapAddr(self._next)
+        self._next += 1
+        return addr
+
+    def fetch_values(self, env: PMap, var: str) -> Any:
+        if var not in env:
+            raise FJStuck(f"unbound variable {var!r}")
+        return self.heap[env[var]]
+
+    def fetch_addr(self, addr: Hashable) -> Any:
+        if addr not in self.heap:
+            raise FJStuck(f"dangling address {addr!r}")
+        return self.heap[addr]
+
+    def fetch_konts(self, ka: Hashable) -> Any:
+        if ka not in self.heap:
+            raise FJStuck(f"dangling continuation address {ka!r}")
+        return self.heap[ka]
+
+    def bind_addr(self, addr: Hashable, value: Any) -> Any:
+        self.heap[addr] = value
+        return None
+
+    def alloc(self, var: Any) -> HeapAddr:
+        return self._fresh()
+
+    def alloc_kont(self, site: Expr) -> HeapAddr:
+        return self._fresh()
+
+    def tick(self, receiver: ObjV, site_state: Any) -> Any:
+        return None
+
+
+class FJTimeout(Exception):
+    """The concrete FJ machine exceeded its step budget."""
+
+
+def evaluate_fj(program: Program, max_steps: int = 100_000) -> ObjV:
+    """Run a program's main expression to its final object value."""
+    table = ClassTable.of(program)
+    interface = ConcreteFJInterface(table)
+    state = inject_fj(program.main)
+    for _ in range(max_steps):
+        if is_final_fj(state):
+            return state.ctrl
+        state = mnext_fj(interface, state)
+    raise FJTimeout(f"no final state within {max_steps} steps")
+
+
+def evaluate_fj_trace(program: Program, max_steps: int = 100_000) -> list[PState]:
+    """Run to completion, recording every machine state."""
+    table = ClassTable.of(program)
+    interface = ConcreteFJInterface(table)
+    state = inject_fj(program.main)
+    trace = [state]
+    for _ in range(max_steps):
+        if is_final_fj(state):
+            return trace
+        state = mnext_fj(interface, state)
+        trace.append(state)
+    raise FJTimeout(f"no final state within {max_steps} steps")
+
+
+def evaluate_fj_with_heap(program: Program, max_steps: int = 100_000) -> tuple[ObjV, dict]:
+    """Run to completion and also return the final heap (for field reads)."""
+    table = ClassTable.of(program)
+    interface = ConcreteFJInterface(table)
+    state = inject_fj(program.main)
+    for _ in range(max_steps):
+        if is_final_fj(state):
+            return state.ctrl, dict(interface.heap)
+        state = mnext_fj(interface, state)
+    raise FJTimeout(f"no final state within {max_steps} steps")

@@ -1,0 +1,219 @@
+"""A recursive-descent parser for a Java-ish FJ concrete syntax.
+
+Grammar::
+
+    program  := classdef* expr
+    classdef := 'class' ID 'extends' ID '{' fielddecl* methoddef* '}'
+    fielddecl := ID ID ';'
+    methoddef := ID ID '(' params ')' '{' 'return' expr ';' '}'
+    params   := (ID ID (',' ID ID)*)?
+    expr     := primary ('.' ID ('(' args ')')? )*
+    primary  := 'new' ID '(' args ')'
+              | '(' ID ')' expr            -- cast
+              | ID
+    args     := (expr (',' expr)*)?
+
+Constructors are synthesized (FJ's canonical constructor is pure
+boilerplate), so class bodies contain only field and method
+declarations.  Comments: ``//`` to end of line.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.fj.syntax import (
+    Cast,
+    ClassDef,
+    Expr,
+    FieldAccess,
+    Invoke,
+    MethodDef,
+    New,
+    Program,
+    VarE,
+)
+
+KEYWORDS = {"class", "extends", "return", "new"}
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s+                       # whitespace
+  | //[^\n]*                  # line comment
+  | (?P<id>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<punct>[(){};,.])
+    """,
+    re.VERBOSE,
+)
+
+
+class FJParseError(Exception):
+    """Malformed FJ source."""
+
+
+def tokenize_fj(source: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise FJParseError(f"unexpected character {source[pos]!r} at offset {pos}")
+        if m.lastgroup in ("id", "punct"):
+            tokens.append(m.group(m.lastgroup))
+        pos = m.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[str]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self, ahead: int = 0) -> str | None:
+        index = self.pos + ahead
+        return self.tokens[index] if index < len(self.tokens) else None
+
+    def next(self) -> str:
+        if self.pos >= len(self.tokens):
+            raise FJParseError("unexpected end of input")
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise FJParseError(f"expected {token!r}, got {got!r}")
+
+    def ident(self) -> str:
+        token = self.next()
+        if token in KEYWORDS or not token[0].isalpha() and token[0] != "_":
+            raise FJParseError(f"expected an identifier, got {token!r}")
+        return token
+
+    # -- declarations ---------------------------------------------------------
+
+    def program(self) -> Program:
+        classes = []
+        while self.peek() == "class":
+            classes.append(self.classdef())
+        main = self.expr()
+        if self.pos != len(self.tokens):
+            raise FJParseError(f"trailing input: {self.tokens[self.pos:]!r}")
+        return Program(tuple(classes), main)
+
+    def classdef(self) -> ClassDef:
+        self.expect("class")
+        name = self.ident()
+        self.expect("extends")
+        superclass = self.ident()
+        self.expect("{")
+        fields: list = []
+        methods: list = []
+        while self.peek() != "}":
+            # both start with: TYPE NAME ; or TYPE NAME ( ...
+            t = self.ident()
+            n = self.ident()
+            if self.peek() == ";":
+                if methods:
+                    raise FJParseError(
+                        f"field {n} declared after methods in class {name}"
+                    )
+                self.next()
+                fields.append((t, n))
+            elif self.peek() == "(":
+                methods.append(self.method_rest(t, n))
+            else:
+                raise FJParseError(f"expected ';' or '(' after {t} {n}")
+        self.expect("}")
+        return ClassDef(name, superclass, tuple(fields), tuple(methods))
+
+    def method_rest(self, ret_type: str, name: str) -> MethodDef:
+        self.expect("(")
+        params: list = []
+        if self.peek() != ")":
+            while True:
+                t = self.ident()
+                n = self.ident()
+                params.append((t, n))
+                if self.peek() == ",":
+                    self.next()
+                else:
+                    break
+        self.expect(")")
+        self.expect("{")
+        self.expect("return")
+        body = self.expr()
+        self.expect(";")
+        self.expect("}")
+        return MethodDef(ret_type, name, tuple(params), body)
+
+    # -- expressions ------------------------------------------------------------
+
+    def expr(self) -> Expr:
+        e = self.primary()
+        while self.peek() == ".":
+            self.next()
+            member = self.ident()
+            if self.peek() == "(":
+                self.next()
+                args = self.args()
+                self.expect(")")
+                e = Invoke(e, member, args)
+            else:
+                e = FieldAccess(e, member)
+        return e
+
+    def primary(self) -> Expr:
+        token = self.peek()
+        if token == "new":
+            self.next()
+            cls = self.ident()
+            self.expect("(")
+            args = self.args()
+            self.expect(")")
+            return New(cls, args)
+        if token == "(":
+            # '(' ID ')' expr-start  => cast; otherwise a parenthesized expr
+            if (
+                self.peek(1) is not None
+                and self.peek(2) == ")"
+                and self.peek(3) in ("new", "(")
+                or (
+                    self.peek(3) is not None
+                    and self.peek(2) == ")"
+                    and self.peek(3) not in (None, ".", ")", ",", ";", "}")
+                )
+            ):
+                self.next()
+                cls = self.ident()
+                self.expect(")")
+                return Cast(cls, self.expr())
+            self.next()
+            inner = self.expr()
+            self.expect(")")
+            return inner
+        return VarE(self.ident())
+
+    def args(self) -> tuple[Expr, ...]:
+        if self.peek() == ")":
+            return ()
+        out = [self.expr()]
+        while self.peek() == ",":
+            self.next()
+            out.append(self.expr())
+        return tuple(out)
+
+
+def parse_program(source: str) -> Program:
+    """Parse class definitions followed by the main expression."""
+    return _Parser(tokenize_fj(source)).program()
+
+
+def parse_expr_fj(source: str) -> Expr:
+    """Parse a single FJ expression."""
+    parser = _Parser(tokenize_fj(source))
+    e = parser.expr()
+    if parser.pos != len(parser.tokens):
+        raise FJParseError(f"trailing input: {parser.tokens[parser.pos:]!r}")
+    return e

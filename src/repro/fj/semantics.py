@@ -1,0 +1,255 @@
+"""The monadic small-step semantics of Featherweight Java.
+
+``FJInterface`` is FJ's analogue of Figure 2's semantic interface; the
+transition :func:`mnext_fj` is written once against it.  Method dispatch
+is the language's source of nondeterminism (an abstract receiver address
+can hold objects of several classes), and it flows through the monad
+exactly as closure application does in the lambda calculi.
+
+Casts: a concrete machine raises :class:`FJCastError` on failure; an
+abstract machine prunes the failing branch (``mzero``), which soundly
+over-approximates all *successful* executions -- the usual treatment of
+guards in abstract interpretation.  Cast-failure reporting is available
+separately through the analysis layer (possible-cast-failure queries).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Hashable
+
+from repro.core.monads import Monad, MonadPlus, map_m, sequence_
+from repro.fj.class_table import ClassTable
+from repro.fj.machine import (
+    CastF,
+    FieldF,
+    FieldVar,
+    Frame,
+    HaltF,
+    InvokeArgF,
+    InvokeRcvF,
+    NewArgF,
+    ObjV,
+    PState,
+    SiteContext,
+)
+from repro.fj.syntax import Cast, Expr, FieldAccess, Invoke, New, VarE
+from repro.util.pcollections import PMap, pmap
+
+
+class FJStuck(Exception):
+    """A deterministic FJ run reached a stuck state."""
+
+
+class FJCastError(FJStuck):
+    """A (C) cast failed at run time."""
+
+
+class FJInterface(ABC):
+    """The semantic interface of the FJ machine, over a monad instance."""
+
+    def __init__(self, monad: Monad, table: ClassTable):
+        self.monad = monad
+        self.table = table
+
+    @abstractmethod
+    def fetch_values(self, env: PMap, var: str) -> Any:
+        """Look a variable up through the store (nondeterministic)."""
+
+    @abstractmethod
+    def fetch_addr(self, addr: Hashable) -> Any:
+        """Look up the values at an address directly (field reads)."""
+
+    @abstractmethod
+    def fetch_konts(self, ka: Hashable) -> Any:
+        """Look up frames at a continuation address."""
+
+    @abstractmethod
+    def bind_addr(self, addr: Hashable, value: Any) -> Any:
+        """Write one binding (object or frame) through the monad."""
+
+    @abstractmethod
+    def alloc(self, var: Any) -> Any:
+        """Allocate an address for a variable or :class:`FieldVar`."""
+
+    @abstractmethod
+    def alloc_kont(self, site: Expr) -> Any:
+        """Allocate a continuation address for the frame pushed at ``site``."""
+
+    @abstractmethod
+    def tick(self, receiver: ObjV, site_state: Any) -> Any:
+        """Advance time on a method dispatch."""
+
+    def stuck(self, pstate: PState, reason: str) -> Any:
+        if isinstance(self.monad, MonadPlus):
+            return self.monad.mzero()
+        raise FJStuck(f"{reason} at {pstate!r}")
+
+    def cast_failure(self, pstate: PState, value: ObjV, target: str) -> Any:
+        if isinstance(self.monad, MonadPlus):
+            return self.monad.mzero()
+        raise FJCastError(f"({target}) cast of a {value.cls} at {pstate!r}")
+
+
+def _push(interface: FJInterface, site: Expr, frame: Frame, enter: Expr, env: PMap):
+    monad = interface.monad
+    return monad.bind(
+        interface.alloc_kont(site),
+        lambda ka2: monad.then(
+            interface.bind_addr(ka2, frame),
+            monad.unit(PState(enter, env, ka2)),
+        ),
+    )
+
+
+def mnext_fj(interface: FJInterface, pstate: PState) -> Any:
+    """One monadic FJ machine step."""
+    monad = interface.monad
+    ctrl, env, ka = pstate.ctrl, pstate.env, pstate.ka
+
+    # -- eval mode ----------------------------------------------------------
+    if isinstance(ctrl, VarE):
+        return monad.bind(
+            interface.fetch_values(env, ctrl.name),
+            lambda v: monad.unit(PState(v, env, ka)),
+        )
+    if isinstance(ctrl, FieldAccess):
+        return _push(interface, ctrl, FieldF(ctrl.fld, ka), ctrl.obj, env)
+    if isinstance(ctrl, Invoke):
+        frame = InvokeRcvF(ctrl, ctrl.method, ctrl.args, env, ka)
+        return _push(interface, ctrl, frame, ctrl.obj, env)
+    if isinstance(ctrl, New):
+        if not ctrl.args:
+            return _allocate_object(interface, pstate, ctrl.cls, (), ka)
+        frame = NewArgF(ctrl, ctrl.cls, ctrl.args[1:], (), env, ka)
+        return _push(interface, ctrl, frame, ctrl.args[0], env)
+    if isinstance(ctrl, Cast):
+        return _push(interface, ctrl, CastF(ctrl.cls, ka), ctrl.obj, env)
+
+    # -- return mode ----------------------------------------------------------
+    if isinstance(ctrl, ObjV):
+        return monad.bind(
+            interface.fetch_konts(ka),
+            lambda frame: _continue(interface, pstate, ctrl, frame),
+        )
+    return interface.stuck(pstate, f"unrecognized control {ctrl!r}")
+
+
+def _continue(interface: FJInterface, pstate: PState, value: ObjV, frame: Frame) -> Any:
+    monad = interface.monad
+    table = interface.table
+    if isinstance(frame, HaltF):
+        return monad.unit(pstate)
+    if isinstance(frame, FieldF):
+        try:
+            index = table.field_index(value.cls, frame.fld)
+        except Exception:
+            return interface.stuck(pstate, f"{value.cls} has no field {frame.fld}")
+        addr = value.field_addrs[index]
+        return monad.bind(
+            interface.fetch_addr(addr),
+            lambda v: monad.unit(PState(v, pstate.env, frame.parent)),
+        )
+    if isinstance(frame, InvokeRcvF):
+        if not frame.args:
+            return _dispatch(interface, pstate, frame.site, value, (), frame.parent)
+        next_frame = InvokeArgF(
+            frame.site, frame.method, value, frame.args[1:], (), frame.env, frame.parent
+        )
+        return _push(interface, frame.args[0], next_frame, frame.args[0], frame.env)
+    if isinstance(frame, InvokeArgF):
+        done = frame.done + (value,)
+        if not frame.remaining:
+            return _dispatch(
+                interface, pstate, frame.site, frame.receiver, done, frame.parent
+            )
+        next_frame = InvokeArgF(
+            frame.site,
+            frame.method,
+            frame.receiver,
+            frame.remaining[1:],
+            done,
+            frame.env,
+            frame.parent,
+        )
+        return _push(interface, frame.remaining[0], next_frame, frame.remaining[0], frame.env)
+    if isinstance(frame, NewArgF):
+        done = frame.done + (value,)
+        if not frame.remaining:
+            return _allocate_object(interface, pstate, frame.cls, done, frame.parent)
+        next_frame = NewArgF(
+            frame.site, frame.cls, frame.remaining[1:], done, frame.env, frame.parent
+        )
+        return _push(interface, frame.remaining[0], next_frame, frame.remaining[0], frame.env)
+    if isinstance(frame, CastF):
+        if table.is_subtype(value.cls, frame.cls):
+            return monad.unit(PState(value, pstate.env, frame.parent))
+        return interface.cast_failure(pstate, value, frame.cls)
+    return interface.stuck(pstate, f"unrecognized frame {frame!r}")
+
+
+def _dispatch(
+    interface: FJInterface,
+    pstate: PState,
+    site: Expr,
+    receiver: ObjV,
+    arg_values: tuple,
+    parent_ka: Hashable,
+) -> Any:
+    """Method dispatch: look up ``mbody``, bind ``this`` and parameters."""
+    monad = interface.monad
+    method_name = site.method  # site is the Invoke expression
+    resolved = interface.table.mbody(method_name, receiver.cls)
+    if resolved is None:
+        return interface.stuck(
+            pstate, f"class {receiver.cls} has no method {method_name}"
+        )
+    mdef, _owner = resolved
+    params = mdef.param_names()
+    if len(params) != len(arg_values):
+        return interface.stuck(pstate, f"arity mismatch calling {method_name}")
+
+    def with_time(_ignored: Any) -> Any:
+        names = ("this",) + params
+        values = (receiver,) + arg_values
+        return monad.bind(
+            map_m(monad, interface.alloc, names),
+            lambda addrs: monad.then(
+                sequence_(
+                    monad, [interface.bind_addr(a, v) for a, v in zip(addrs, values)]
+                ),
+                monad.unit(PState(mdef.body, pmap(zip(names, addrs)), parent_ka)),
+            ),
+        )
+
+    return monad.bind(interface.tick(receiver, SiteContext(site)), with_time)
+
+
+def _allocate_object(
+    interface: FJInterface,
+    pstate: PState,
+    cls: str,
+    arg_values: tuple,
+    parent_ka: Hashable,
+) -> Any:
+    """``new C(v...)``: allocate one cell per field, return the object."""
+    monad = interface.monad
+    fields = interface.table.fields(cls)
+    if len(fields) != len(arg_values):
+        return interface.stuck(pstate, f"wrong number of fields for new {cls}")
+    field_vars = [FieldVar(cls, f) for _t, f in fields]
+    return monad.bind(
+        map_m(monad, interface.alloc, field_vars),
+        lambda addrs: monad.then(
+            sequence_(
+                monad, [interface.bind_addr(a, v) for a, v in zip(addrs, arg_values)]
+            ),
+            monad.unit(PState(ObjV(cls, tuple(addrs)), pstate.env, parent_ka)),
+        ),
+    )
+
+
+def is_final_fj(pstate: PState) -> bool:
+    from repro.fj.machine import HALT_ADDRESS
+
+    return pstate.is_return() and pstate.ka == HALT_ADDRESS

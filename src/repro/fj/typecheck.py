@@ -1,0 +1,156 @@
+"""The Featherweight Java type system (Igarashi-Pierce-Wadler).
+
+Expression typing (T-Var, T-Field, T-Invk, T-New, the three cast
+rules), method and class well-formedness (including the covariant-free
+override rule of FJ: overrides must preserve the full signature), and
+whole-program checking.  Following the original paper, *stupid* casts
+(between unrelated classes) are accepted but reported as warnings --
+they exist only so subject reduction holds -- while downcasts are
+accepted silently and can fail at run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fj.class_table import ClassTable, ClassTableError
+from repro.fj.syntax import (
+    Cast,
+    Expr,
+    FieldAccess,
+    Invoke,
+    MethodDef,
+    New,
+    OBJECT,
+    Program,
+    VarE,
+)
+
+
+class TypeError_(Exception):
+    """An FJ type error (named to avoid clashing with the builtin)."""
+
+
+@dataclass
+class CheckResult:
+    """Outcome of a whole-program check."""
+
+    main_type: str
+    warnings: list[str] = field(default_factory=list)
+
+
+def type_of(table: ClassTable, env: dict, expr: Expr, warnings: list | None = None) -> str:
+    """Compute the type of ``expr`` under variable typing ``env``."""
+    if warnings is None:
+        warnings = []
+    if isinstance(expr, VarE):
+        if expr.name not in env:
+            raise TypeError_(f"unbound variable {expr.name}")
+        return env[expr.name]
+    if isinstance(expr, FieldAccess):
+        obj_type = type_of(table, env, expr.obj, warnings)
+        try:
+            return table.field_type(obj_type, expr.fld)
+        except ClassTableError as err:
+            raise TypeError_(str(err)) from err
+    if isinstance(expr, Invoke):
+        obj_type = type_of(table, env, expr.obj, warnings)
+        sig = table.mtype(expr.method, obj_type)
+        if sig is None:
+            raise TypeError_(f"class {obj_type} has no method {expr.method}")
+        param_types, ret_type = sig
+        if len(param_types) != len(expr.args):
+            raise TypeError_(
+                f"{obj_type}.{expr.method} expects {len(param_types)} arguments, "
+                f"got {len(expr.args)}"
+            )
+        for arg, expected in zip(expr.args, param_types):
+            actual = type_of(table, env, arg, warnings)
+            if not table.is_subtype(actual, expected):
+                raise TypeError_(
+                    f"argument of type {actual} where {expected} expected "
+                    f"in call to {expr.method}"
+                )
+        return ret_type
+    if isinstance(expr, New):
+        if not table.defined(expr.cls):
+            raise TypeError_(f"new of undefined class {expr.cls}")
+        expected_fields = table.fields(expr.cls)
+        if len(expected_fields) != len(expr.args):
+            raise TypeError_(
+                f"new {expr.cls} expects {len(expected_fields)} arguments, "
+                f"got {len(expr.args)}"
+            )
+        for arg, (expected, fld) in zip(expr.args, expected_fields):
+            actual = type_of(table, env, arg, warnings)
+            if not table.is_subtype(actual, expected):
+                raise TypeError_(
+                    f"field {fld} of {expr.cls} needs {expected}, got {actual}"
+                )
+        return expr.cls
+    if isinstance(expr, Cast):
+        if not table.defined(expr.cls):
+            raise TypeError_(f"cast to undefined class {expr.cls}")
+        obj_type = type_of(table, env, expr.obj, warnings)
+        if table.is_subtype(obj_type, expr.cls):
+            return expr.cls  # upcast (T-UCast)
+        if table.is_subtype(expr.cls, obj_type):
+            return expr.cls  # downcast (T-DCast); may fail at run time
+        warnings.append(f"stupid cast: ({expr.cls}) applied to {obj_type}")
+        return expr.cls  # stupid cast (T-SCast), warned
+    raise TypeError_(f"not an FJ expression: {expr!r}")
+
+
+def check_method(table: ClassTable, cls_name: str, mdef: MethodDef, warnings: list) -> None:
+    """``M OK in C``: body type, declared types, and valid overriding."""
+    for t, name in mdef.params:
+        if not table.defined(t):
+            raise TypeError_(f"method {mdef.name}: unknown parameter type {t}")
+    if not table.defined(mdef.ret_type):
+        raise TypeError_(f"method {mdef.name}: unknown return type {mdef.ret_type}")
+    env = {name: t for t, name in mdef.params}
+    env["this"] = cls_name
+    body_type = type_of(table, env, mdef.body, warnings)
+    if not table.is_subtype(body_type, mdef.ret_type):
+        raise TypeError_(
+            f"method {cls_name}.{mdef.name} returns {body_type}, "
+            f"declared {mdef.ret_type}"
+        )
+    superclass = table.superclass_of(cls_name)
+    if superclass is not None:
+        inherited = table.mtype(mdef.name, superclass)
+        if inherited is not None and inherited != (mdef.param_types(), mdef.ret_type):
+            raise TypeError_(
+                f"method {cls_name}.{mdef.name} overrides with a different signature"
+            )
+
+
+def check_class(table: ClassTable, cls_name: str, warnings: list) -> None:
+    """``C OK``: field types defined, no field shadowing, all methods OK."""
+    cls = table.by_name[cls_name]
+    inherited_fields = {f for _t, f in table.fields(cls.superclass)}
+    seen = set()
+    for t, f in cls.fields:
+        if not table.defined(t):
+            raise TypeError_(f"class {cls_name}: unknown field type {t}")
+        if f in inherited_fields:
+            raise TypeError_(f"class {cls_name} shadows inherited field {f}")
+        if f in seen:
+            raise TypeError_(f"class {cls_name} declares field {f} twice")
+        seen.add(f)
+    method_names = set()
+    for mdef in cls.methods:
+        if mdef.name in method_names:
+            raise TypeError_(f"class {cls_name} declares method {mdef.name} twice")
+        method_names.add(mdef.name)
+        check_method(table, cls_name, mdef, warnings)
+
+
+def typecheck_program(program: Program) -> CheckResult:
+    """Check every class and the main expression; return main's type."""
+    table = ClassTable.of(program)
+    warnings: list = []
+    for cls_name in table.all_classes():
+        check_class(table, cls_name, warnings)
+    main_type = type_of(table, {}, program.main, warnings)
+    return CheckResult(main_type=main_type, warnings=warnings)

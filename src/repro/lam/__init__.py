@@ -1,0 +1,25 @@
+"""Direct-style lambda calculus: syntax, parser and the CPS transform.
+
+The paper's implementation replays the monadic development "for a
+direct-style lambda-calculus" (section 1); this package supplies that
+language's front end.  The CESK machine that animates it lives in
+:mod:`repro.cesk`; :func:`repro.lam.cps_transform.cps_convert` connects
+the two worlds, letting the cross-language experiments compare a CESK
+analysis of ``e`` with a CPS analysis of ``cps(e)``.
+"""
+
+from repro.lam.syntax import App, Expr, Lam, Let, Var, free_vars, pp
+from repro.lam.parser import parse_expr
+from repro.lam.cps_transform import cps_convert
+
+__all__ = [
+    "App",
+    "Expr",
+    "Lam",
+    "Let",
+    "Var",
+    "cps_convert",
+    "free_vars",
+    "parse_expr",
+    "pp",
+]

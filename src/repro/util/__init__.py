@@ -1,0 +1,12 @@
+"""Utility substrate: persistent, hashable collections used throughout.
+
+Abstract-machine states must be members of powerset lattices, which in
+Python means they must be hashable.  The standard library has frozenset
+but no frozen mapping, so :mod:`repro.util.pcollections` provides
+:class:`~repro.util.pcollections.PMap`, a small persistent-map layer with
+value semantics, plus helpers shared by the rest of the code base.
+"""
+
+from repro.util.pcollections import PMap, pmap, pset
+
+__all__ = ["PMap", "pmap", "pset"]

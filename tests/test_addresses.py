@@ -1,0 +1,182 @@
+"""``Addressable`` instances: polyvariance and context policies (paper 6.1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.addresses import (
+    Binding,
+    BoundedNat,
+    ConcreteAddressing,
+    KCFA,
+    LContext,
+    ZeroCFA,
+)
+
+
+class FakeState:
+    """A minimal HasContextKey carrier for exercising allocators."""
+
+    def __init__(self, key):
+        self._key = key
+
+    def context_key(self):
+        return self._key
+
+
+labels = st.sampled_from(["c1", "c2", "c3", "c4"])
+label_lists = st.lists(labels, max_size=6)
+
+
+class TestConcreteAddressing:
+    def test_initial_context(self):
+        assert ConcreteAddressing().tau0() == 0
+
+    def test_advance_increments(self):
+        a = ConcreteAddressing()
+        assert a.advance(None, FakeState("c"), 5) == 6
+
+    def test_unique_addresses_per_allocation(self):
+        a = ConcreteAddressing()
+        ctx = a.tau0()
+        seen = set()
+        for step in range(10):
+            seen.add(a.valloc("x", ctx))
+            ctx = a.advance(None, FakeState("c"), ctx)
+        assert len(seen) == 10
+
+    def test_distinct_vars_distinct_addresses(self):
+        a = ConcreteAddressing()
+        assert a.valloc("x", 3) != a.valloc("y", 3)
+
+
+class TestZeroCFA:
+    def test_variable_is_its_own_address(self):
+        z = ZeroCFA()
+        assert z.valloc("x", z.tau0()) == "x"
+
+    def test_context_is_trivial(self):
+        z = ZeroCFA()
+        assert z.advance(None, FakeState("anything"), z.tau0()) == ()
+
+
+class TestKCFA:
+    def test_k_zero_has_unit_context(self):
+        k0 = KCFA(0)
+        assert k0.advance(None, FakeState("c1"), k0.tau0()) == ()
+
+    def test_k_one_remembers_last_call(self):
+        k1 = KCFA(1)
+        ctx = k1.advance(None, FakeState("c1"), k1.tau0())
+        assert ctx == ("c1",)
+        ctx = k1.advance(None, FakeState("c2"), ctx)
+        assert ctx == ("c2",)
+
+    def test_k_two_truncates(self):
+        k2 = KCFA(2)
+        ctx = ()
+        for label in ("c1", "c2", "c3"):
+            ctx = k2.advance(None, FakeState(label), ctx)
+        assert ctx == ("c3", "c2")
+
+    def test_address_pairs_var_and_context(self):
+        k1 = KCFA(1)
+        addr = k1.valloc("x", ("c1",))
+        assert addr == Binding("x", ("c1",))
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            KCFA(-1)
+
+    @given(label_lists)
+    def test_context_never_exceeds_k(self, labels_seq):
+        k = KCFA(2)
+        ctx = k.tau0()
+        for label in labels_seq:
+            ctx = k.advance(None, FakeState(label), ctx)
+            assert len(ctx) <= 2
+
+    @given(label_lists)
+    def test_context_is_suffix_of_call_history(self, labels_seq):
+        k = KCFA(3)
+        ctx = k.tau0()
+        for label in labels_seq:
+            ctx = k.advance(None, FakeState(label), ctx)
+        expected = tuple(reversed(labels_seq))[:3]
+        assert ctx == expected
+
+
+class TestLContext:
+    def test_fresh_sites_accumulate(self):
+        lc = LContext(3)
+        ctx = lc.advance(None, FakeState("c1"), lc.tau0())
+        ctx = lc.advance(None, FakeState("c2"), ctx)
+        assert ctx == ("c2", "c1")
+
+    def test_repeated_site_folds_cycle(self):
+        lc = LContext(3)
+        ctx = ()
+        for label in ("c1", "c2", "c1"):
+            ctx = lc.advance(None, FakeState(label), ctx)
+        # re-entering c1 truncates back to its earlier occurrence
+        assert ctx == ("c1",)
+
+    def test_bound_respected(self):
+        lc = LContext(2)
+        ctx = ()
+        for label in ("c1", "c2", "c3"):
+            ctx = lc.advance(None, FakeState(label), ctx)
+        assert len(ctx) <= 2
+
+    @given(label_lists)
+    def test_contexts_have_unique_entries(self, labels_seq):
+        lc = LContext(4)
+        ctx = lc.tau0()
+        for label in labels_seq:
+            ctx = lc.advance(None, FakeState(label), ctx)
+            assert len(set(ctx)) == len(ctx)
+
+    @given(label_lists)
+    def test_context_space_is_finite(self, labels_seq):
+        # every context is a duplicate-free tuple over the 4 labels, len <= 4
+        lc = LContext(4)
+        ctx = lc.tau0()
+        for label in labels_seq:
+            ctx = lc.advance(None, FakeState(label), ctx)
+        assert len(ctx) <= 4 and set(ctx) <= {"c1", "c2", "c3", "c4"}
+
+
+class TestBoundedNat:
+    def test_counts_transitions(self):
+        b = BoundedNat(10)
+        ctx = b.tau0()
+        for _ in range(3):
+            ctx = b.advance(None, FakeState("c"), ctx)
+        assert ctx == 3
+
+    def test_saturates_at_n(self):
+        b = BoundedNat(2)
+        ctx = b.tau0()
+        for _ in range(5):
+            ctx = b.advance(None, FakeState("c"), ctx)
+        assert ctx == 2
+
+    def test_address_includes_counter(self):
+        b = BoundedNat(5)
+        assert b.valloc("x", 3) == Binding("x", 3)
+
+    def test_big_n_separates_early_bindings(self):
+        b = BoundedNat(100)
+        c1 = b.advance(None, FakeState("c"), b.tau0())
+        c2 = b.advance(None, FakeState("c"), c1)
+        assert b.valloc("x", c1) != b.valloc("x", c2)
+
+
+class TestBinding:
+    def test_value_semantics(self):
+        assert Binding("x", ("c",)) == Binding("x", ("c",))
+        assert hash(Binding("x", ("c",))) == hash(Binding("x", ("c",)))
+        assert Binding("x", ()) != Binding("y", ())
+
+    def test_repr_names_var(self):
+        assert "x" in repr(Binding("x", ("c1",)))

@@ -1,0 +1,121 @@
+"""The concrete CESK machine for direct-style lambda calculus."""
+
+import pytest
+
+from repro.cesk.concrete import (
+    CESKTimeout,
+    ConcreteCESKInterface,
+    evaluate,
+    evaluate_trace,
+    evaluate_with_heap,
+)
+from repro.cesk.machine import Clo, HALT_ADDRESS, HaltF, inject
+from repro.cesk.semantics import CESKStuck, is_final, mnext_cesk
+from repro.lam.parser import parse_expr
+from repro.corpus.lam_programs import PROGRAMS, apply_tower, church_add_program
+
+
+class TestEvaluate:
+    def test_identity(self):
+        v = evaluate(parse_expr("(let ((id (lambda (x) x))) (id (lambda (y) y)))"))
+        assert isinstance(v, Clo)
+        assert v.lam.params == ("y",)
+
+    def test_mj09_returns_second_lambda(self):
+        v = evaluate(PROGRAMS["mj09"])
+        assert v.lam.params == ("y",)
+
+    def test_eta(self):
+        v = evaluate(PROGRAMS["eta"])
+        assert v.lam.params == ("w",)
+
+    def test_church_two_two(self):
+        v = evaluate(PROGRAMS["church-two-two"])
+        assert v.lam.params == ("q",)
+
+    def test_multi_arg_application(self):
+        v = evaluate(parse_expr("((lambda (a b) b) (lambda (p) p) (lambda (q) q))"))
+        assert v.lam.params == ("q",)
+
+    def test_nullary_application(self):
+        v = evaluate(parse_expr("((lambda () (lambda (z) z)))"))
+        assert v.lam.params == ("z",)
+
+    def test_omega_times_out(self):
+        with pytest.raises(CESKTimeout):
+            evaluate(PROGRAMS["omega"], max_steps=200)
+
+    def test_z_loop_times_out(self):
+        with pytest.raises(CESKTimeout):
+            evaluate(PROGRAMS["z-loop"], max_steps=500)
+
+    def test_unbound_variable_sticks(self):
+        with pytest.raises(CESKStuck):
+            evaluate(parse_expr("(f (lambda (x) x))"))
+
+    def test_arity_mismatch_sticks(self):
+        with pytest.raises(CESKStuck):
+            evaluate(parse_expr("((lambda (a b) a) (lambda (p) p))"))
+
+    def test_applying_non_closure_impossible(self):
+        # all values are closures in pure lambda; applying a lambda works
+        v = evaluate(parse_expr("((lambda (x) x) (lambda (y) y))"))
+        assert v.lam.params == ("y",)
+
+    @pytest.mark.parametrize("m,n", [(0, 0), (1, 2), (2, 3)])
+    def test_church_addition_runs(self, m, n):
+        v = evaluate(church_add_program(m, n))
+        assert isinstance(v, Clo)
+
+
+class TestTrace:
+    def test_trace_starts_at_injection(self):
+        e = PROGRAMS["id-simple"]
+        trace = evaluate_trace(e)
+        assert trace[0] == inject(e)
+        assert is_final(trace[-1])
+
+    def test_trace_length_grows_with_tower(self):
+        short = len(evaluate_trace(apply_tower(1)))
+        long = len(evaluate_trace(apply_tower(5)))
+        assert long > short
+
+    def test_eval_and_return_modes_alternate_sensibly(self):
+        trace = evaluate_trace(PROGRAMS["id-simple"])
+        assert any(s.is_eval() for s in trace)
+        assert any(s.is_return() for s in trace)
+
+
+class TestInterface:
+    def test_halt_frame_prebound(self):
+        iface = ConcreteCESKInterface()
+        assert iface.fetch_konts(HALT_ADDRESS) == HaltF()
+
+    def test_fresh_addresses(self):
+        iface = ConcreteCESKInterface()
+        assert iface.alloc("x") != iface.alloc("x")
+
+    def test_final_state_self_loops(self):
+        e = PROGRAMS["id-simple"]
+        trace = evaluate_trace(e)
+        final = trace[-1]
+        iface = ConcreteCESKInterface()
+        # a return state at the halt address maps to itself
+        assert mnext_cesk(iface, final) == final
+
+    def test_heap_retrievable(self):
+        value, heap = evaluate_with_heap(PROGRAMS["id-simple"])
+        assert isinstance(value, Clo)
+        assert HALT_ADDRESS in heap
+
+
+class TestClosureCapture:
+    def test_closures_capture_free_vars_only(self):
+        # the returned closure's env should not retain unrelated bindings
+        v = evaluate(
+            parse_expr(
+                "(let* ((junk (lambda (j) j)) (keep (lambda (w) w)))"
+                " (lambda (q) (keep q)))"
+            )
+        )
+        assert set(v.env.keys()) == {"keep"}

@@ -1,0 +1,121 @@
+"""The command-line front end."""
+
+import pytest
+
+from repro.cli import build_parser, detect_language, main
+
+
+@pytest.fixture
+def cps_file(tmp_path):
+    path = tmp_path / "prog.cps"
+    path.write_text(
+        "((lambda (x k) (k x)) (lambda (z j) (j z)) (lambda (r) (exit)))"
+    )
+    return str(path)
+
+
+@pytest.fixture
+def lam_file(tmp_path):
+    path = tmp_path / "prog.lam"
+    path.write_text(
+        "(let* ((id (lambda (x) x)) (a (id (lambda (z) z)))"
+        " (b (id (lambda (y) y)))) b)"
+    )
+    return str(path)
+
+
+@pytest.fixture
+def fj_file(tmp_path):
+    path = tmp_path / "prog.fj"
+    path.write_text(
+        """
+        class A extends Object { }
+        class B extends Object { }
+        class Holder extends Object {
+          Object get(Object x) { return x; }
+        }
+        (A) new Holder().get(new B())
+        """
+    )
+    return str(path)
+
+
+class TestLanguageDetection:
+    def test_from_extension(self):
+        assert detect_language("x.cps", None) == "cps"
+        assert detect_language("x.lam", None) == "lam"
+        assert detect_language("x.fj", None) == "fj"
+
+    def test_explicit_wins(self):
+        assert detect_language("x.txt", "cps") == "cps"
+
+    def test_unknown_extension_fails(self):
+        with pytest.raises(SystemExit):
+            detect_language("x.txt", None)
+
+
+class TestRun:
+    def test_run_cps(self, cps_file, capsys):
+        assert main(["run", cps_file]) == 0
+        assert "final state" in capsys.readouterr().out
+
+    def test_run_lam(self, lam_file, capsys):
+        assert main(["run", lam_file]) == 0
+        assert "(lambda (y) y)" in capsys.readouterr().out
+
+    def test_run_fj_reports_value(self, tmp_path, capsys):
+        path = tmp_path / "ok.fj"
+        path.write_text("class A extends Object { } new A()")
+        assert main(["run", str(path)]) == 0
+        assert "new A" in capsys.readouterr().out
+
+
+class TestAnalyze:
+    def test_analyze_cps_default(self, cps_file, capsys):
+        assert main(["analyze", cps_file]) == 0
+        out = capsys.readouterr().out
+        assert "variable" in out and "states:" in out
+
+    def test_analyze_cps_all_flags(self, cps_file, capsys):
+        assert main(["analyze", cps_file, "--k", "0", "--shared", "--counting"]) == 0
+        assert "mean flow" in capsys.readouterr().out
+
+    def test_analyze_cps_gc(self, cps_file, capsys):
+        assert main(["analyze", cps_file, "--gc"]) == 0
+        assert "states:" in capsys.readouterr().out
+
+    def test_analyze_lam(self, lam_file, capsys):
+        assert main(["analyze", lam_file, "--k", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "b" in out
+
+    def test_analyze_fj_with_cast_check(self, fj_file, capsys):
+        assert main(["analyze", fj_file, "--check-casts"]) == 0
+        out = capsys.readouterr().out
+        assert "casts that may fail" in out
+        assert "(A) applied to a B" in out
+
+    def test_analyze_fj_safe_casts(self, tmp_path, capsys):
+        path = tmp_path / "safe.fj"
+        path.write_text(
+            """
+            class A extends Object { }
+            class Holder extends Object {
+              Object get(Object x) { return x; }
+            }
+            (A) new Holder().get(new A())
+            """
+        )
+        assert main(["analyze", str(path), "--check-casts"]) == 0
+        assert "all casts proved safe" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["analyze", "x.cps"])
+        assert args.k == 1
+        assert not args.shared and not args.gc and not args.counting

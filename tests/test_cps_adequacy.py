@@ -1,0 +1,84 @@
+"""Adequacy of the monadic refactoring (experiment E10).
+
+Three formulations of the CPS abstract transition must agree exactly:
+
+1. ``mnext`` (explicit bind chains, Figure 2) through ``StorePassing``;
+2. ``mnext_do`` (generator-replay do-notation);
+3. the hand-written pre-monadic transition of section 2.4
+   (:mod:`repro.cps.direct`).
+
+Agreement is checked on the full reachable configuration sets of the
+corpus, for several addressing policies.
+"""
+
+import pytest
+
+from repro.core.addresses import KCFA, ZeroCFA
+from repro.core.collecting import PerStateStoreCollecting
+from repro.core.fixpoint import reachable
+from repro.core.store import BasicStore
+from repro.cps.analysis import AbstractCPSInterface
+from repro.cps.direct import atomic_eval, direct_abstract_step
+from repro.cps.semantics import inject, mnext, mnext_do
+from repro.corpus.cps_programs import PROGRAMS, heap_clone, id_chain
+
+ADDRESSINGS = [ZeroCFA(), KCFA(0), KCFA(1), KCFA(2)]
+PROGRAM_NAMES = ["identity", "id-id", "mj09", "omega", "self-apply"]
+
+
+def monadic_reachable(program, addressing, step_fn):
+    store_like = BasicStore()
+    interface = AbstractCPSInterface(addressing, store_like)
+    collecting = PerStateStoreCollecting(
+        interface.monad, store_like, addressing.tau0()
+    )
+    step = lambda ps: step_fn(interface, ps)
+    return reachable(
+        collecting.inject(inject(program)),
+        lambda config: collecting.successors_of(step, config),
+    )
+
+
+def direct_reachable(program, addressing):
+    store_like = BasicStore()
+    step = direct_abstract_step(addressing, store_like)
+    seed = ((inject(program), addressing.tau0()), store_like.empty())
+    return reachable([seed], step)
+
+
+@pytest.mark.parametrize("name", PROGRAM_NAMES)
+@pytest.mark.parametrize("addressing", ADDRESSINGS, ids=repr)
+def test_monadic_equals_direct(name, addressing):
+    program = PROGRAMS[name]
+    assert monadic_reachable(program, addressing, mnext) == direct_reachable(
+        program, addressing
+    )
+
+
+@pytest.mark.parametrize("name", PROGRAM_NAMES)
+def test_mnext_do_equals_mnext(name):
+    program = PROGRAMS[name]
+    addressing = KCFA(1)
+    assert monadic_reachable(program, addressing, mnext) == monadic_reachable(
+        program, addressing, mnext_do
+    )
+
+
+def test_agreement_on_generated_families():
+    for program in (id_chain(3), heap_clone(3)):
+        addressing = KCFA(1)
+        assert monadic_reachable(program, addressing, mnext) == direct_reachable(
+            program, addressing
+        )
+
+
+def test_atomic_eval_matches_interface_on_lambdas():
+    from repro.util.pcollections import pmap
+
+    store_like = BasicStore()
+    program = PROGRAMS["identity"]
+    lam = program.fun
+    direct_vals = atomic_eval(pmap(), store_like, store_like.empty(), lam)
+    interface = AbstractCPSInterface(ZeroCFA(), store_like)
+    monadic_vals = interface.monad.run(interface.arg(pmap(), lam), (), store_like.empty())
+    assert direct_vals == frozenset(v for (v, _g), _s in monadic_vals)

@@ -1,0 +1,111 @@
+"""The recovered concrete interpreter (paper section 4)."""
+
+import pytest
+
+from repro.cps.concrete import (
+    ConcreteCPSInterface,
+    HeapAddr,
+    InterpreterTimeout,
+    interpret,
+    interpret_trace,
+    interpret_with_heap,
+)
+from repro.cps.parser import parse_cexp
+from repro.cps.semantics import Clo, CPSStuck, PState, inject, mnext
+from repro.cps.syntax import Exit, Lam
+from repro.corpus.cps_programs import PROGRAMS
+from repro.util.pcollections import pmap
+
+
+class TestInterpret:
+    def test_identity_reaches_exit(self):
+        final = interpret(PROGRAMS["identity"])
+        assert final.is_final()
+
+    def test_result_binding(self):
+        final, heap = interpret_with_heap(PROGRAMS["identity"])
+        # the halt continuation bound r to the identity's argument
+        assert "r" in final.env
+        result = heap[final.env["r"]]
+        assert isinstance(result, Clo)
+        assert result.lam.params == ("z", "j")
+
+    def test_mj09_binds_distinct_results(self):
+        # in the concrete run, a gets (lambda (z kz) ...) -- b gets (lambda (y ky) ...)
+        trace = interpret_trace(PROGRAMS["mj09"])
+        final = trace[-1]
+        assert final.is_final()
+        assert "b" in final.env
+
+    def test_omega_diverges(self):
+        with pytest.raises(InterpreterTimeout):
+            interpret(PROGRAMS["omega"], max_steps=500)
+
+    def test_trace_starts_at_injection(self):
+        trace = interpret_trace(PROGRAMS["identity"])
+        assert trace[0] == inject(PROGRAMS["identity"])
+        assert trace[-1].is_final()
+
+    def test_trace_steps_are_connected(self):
+        # every consecutive pair is one mnext step of a fresh replay
+        program = PROGRAMS["id-id"]
+        trace = interpret_trace(program)
+        assert len(trace) >= 3
+
+    def test_unbound_variable_sticks(self):
+        with pytest.raises(CPSStuck):
+            interpret(parse_cexp("(f (lambda (r) (exit)))"))
+
+    def test_arity_mismatch_sticks(self):
+        with pytest.raises(CPSStuck):
+            interpret(parse_cexp("((lambda (x k) (k x)) (lambda (r) (exit)))"))
+
+    def test_applying_through_vars(self):
+        final = interpret(PROGRAMS["self-apply"])
+        assert final.is_final()
+
+
+class TestConcreteInterface:
+    def test_alloc_is_fresh(self):
+        iface = ConcreteCPSInterface()
+        a1 = iface.alloc("x")
+        a2 = iface.alloc("x")
+        assert a1 != a2
+        assert isinstance(a1, HeapAddr)
+
+    def test_bind_then_read(self):
+        iface = ConcreteCPSInterface()
+        addr = iface.alloc("x")
+        clo = Clo(Lam(("v",), Exit()), pmap())
+        iface.bind_addr(addr, clo)
+        env = pmap({"x": addr})
+        from repro.cps.syntax import Ref
+
+        assert iface.arg(env, Ref("x")) == clo
+
+    def test_lambda_closes_over_free_vars_only(self):
+        iface = ConcreteCPSInterface()
+        addr = iface.alloc("y")
+        env = pmap({"unrelated": addr, "k": addr})
+        lam = Lam(("x",), parse_cexp("(k x)"))
+        clo = iface.fun(env, lam)
+        assert set(clo.env.keys()) == {"k"}
+
+    def test_tick_is_noop(self):
+        iface = ConcreteCPSInterface()
+        state = inject(PROGRAMS["identity"])
+        assert iface.tick(None, state) is None
+
+    def test_exit_state_self_loops_in_mnext(self):
+        iface = ConcreteCPSInterface()
+        state = PState(Exit(), pmap())
+        assert mnext(iface, state) == state
+
+    def test_dangling_address_sticks(self):
+        iface = ConcreteCPSInterface()
+        addr = iface.alloc("x")  # allocated but never bound
+        env = pmap({"x": addr})
+        from repro.cps.syntax import Ref
+
+        with pytest.raises(CPSStuck):
+            iface.arg(env, Ref("x"))

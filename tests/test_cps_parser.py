@@ -1,0 +1,105 @@
+"""The s-expression front end for CPS."""
+
+import pytest
+
+from repro.cps.parser import ParseError, parse_aexp, parse_cexp, read_sexp, tokenize
+from repro.cps.syntax import Call, Exit, Lam, Ref
+
+
+class TestTokenizer:
+    def test_parens_and_atoms(self):
+        assert tokenize("(f a)") == ["(", "f", "a", ")"]
+
+    def test_whitespace_insensitive(self):
+        assert tokenize("( f\n  a\t)") == ["(", "f", "a", ")"]
+
+    def test_comments_stripped(self):
+        assert tokenize("(f ; call f\n a)") == ["(", "f", "a", ")"]
+
+    def test_empty(self):
+        assert tokenize("  ; nothing\n") == []
+
+    def test_unicode_lambda(self):
+        assert tokenize("(λ (x) (exit))")[1] == "λ"
+
+
+class TestReadSexp:
+    def test_nested(self):
+        sexp, idx = read_sexp(tokenize("(a (b c) d)"))
+        assert sexp == ["a", ["b", "c"], "d"]
+
+    def test_unclosed(self):
+        with pytest.raises(ParseError):
+            read_sexp(tokenize("(a (b"))
+
+    def test_stray_close(self):
+        with pytest.raises(ParseError):
+            read_sexp(tokenize(")"))
+
+
+class TestParseCExp:
+    def test_exit(self):
+        assert parse_cexp("(exit)") == Exit()
+
+    def test_simple_call(self):
+        assert parse_cexp("(f a b)") == Call(Ref("f"), (Ref("a"), Ref("b")))
+
+    def test_nullary_call(self):
+        assert parse_cexp("(f)") == Call(Ref("f"), ())
+
+    def test_lambda_operator(self):
+        t = parse_cexp("((lambda (x k) (k x)) a h)")
+        assert isinstance(t.fun, Lam)
+        assert t.fun.params == ("x", "k")
+        assert t.fun.body == Call(Ref("k"), (Ref("x"),))
+
+    def test_greek_lambda(self):
+        assert parse_cexp("((λ (x) (exit)) a)") == parse_cexp("((lambda (x) (exit)) a)")
+
+    def test_nested_lambdas(self):
+        t = parse_cexp("((lambda (f k) (f (lambda (v) (exit)))) g h)")
+        inner = t.fun.body.args[0]
+        assert isinstance(inner, Lam) and inner.params == ("v",)
+
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse_cexp("")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_cexp("(exit) extra")
+
+    def test_bare_atom_not_a_call(self):
+        with pytest.raises(ParseError):
+            parse_cexp("x")
+
+    def test_bare_lambda_not_a_call(self):
+        with pytest.raises(ParseError):
+            parse_cexp("(lambda (x) (exit))")
+
+    def test_malformed_lambda(self):
+        with pytest.raises(ParseError):
+            parse_cexp("((lambda x (exit)) a)")
+        with pytest.raises(ParseError):
+            parse_cexp("((lambda (x)) a)")
+
+    def test_duplicate_params_rejected(self):
+        with pytest.raises(ParseError):
+            parse_cexp("((lambda (x x) (exit)) a b)")
+
+    def test_keyword_in_arg_position_rejected(self):
+        with pytest.raises(ParseError):
+            parse_cexp("(f lambda)")
+
+
+class TestParseAExp:
+    def test_var(self):
+        assert parse_aexp("foo") == Ref("foo")
+
+    def test_lambda(self):
+        lam = parse_aexp("(lambda (x) (exit))")
+        assert lam == Lam(("x",), Exit())
+
+    def test_call_is_not_aexp(self):
+        with pytest.raises(ParseError):
+            parse_aexp("(f a)")

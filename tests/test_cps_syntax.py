@@ -1,0 +1,154 @@
+"""CPS terms: structure, free variables, traversals, alphatization."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cps.parser import parse_cexp
+from repro.cps.syntax import (
+    Call,
+    Exit,
+    Lam,
+    Ref,
+    alphatize,
+    call_sites,
+    free_vars,
+    is_closed,
+    lambdas,
+    pp,
+    subterms,
+    term_size,
+    variables,
+)
+
+# -- a hypothesis strategy for random (possibly open) CPS terms -------------
+
+var_names = st.sampled_from(["x", "y", "z", "k", "j"])
+
+
+def cexps(depth=3):
+    if depth == 0:
+        return st.just(Exit())
+    aexp = aexps(depth - 1)
+    return st.one_of(
+        st.just(Exit()),
+        st.builds(lambda f, args: Call(f, tuple(args)), aexp, st.lists(aexp, max_size=2)),
+    )
+
+
+def aexps(depth=2):
+    if depth == 0:
+        return st.builds(Ref, var_names)
+    return st.one_of(
+        st.builds(Ref, var_names),
+        st.builds(
+            lambda params, body: Lam(tuple(dict.fromkeys(params)), body),
+            st.lists(var_names, min_size=1, max_size=2),
+            cexps(depth - 1),
+        ),
+    )
+
+
+class TestStructure:
+    def test_value_semantics(self):
+        t1 = parse_cexp("((lambda (x k) (k x)) f g)")
+        t2 = parse_cexp("((lambda (x k) (k x)) f g)")
+        assert t1 == t2 and hash(t1) == hash(t2)
+
+    def test_distinct_terms_differ(self):
+        assert parse_cexp("(f a)") != parse_cexp("(f b)")
+
+    def test_exit_is_singleton_like(self):
+        assert Exit() == Exit()
+
+
+class TestFreeVars:
+    def test_ref(self):
+        assert free_vars(Ref("x")) == frozenset(["x"])
+
+    def test_lambda_binds(self):
+        lam = parse_cexp("((lambda (x k) (k x)) a b)").fun
+        assert free_vars(lam) == frozenset()
+
+    def test_lambda_with_free(self):
+        lam = Lam(("x",), Call(Ref("k"), (Ref("x"),)))
+        assert free_vars(lam) == frozenset(["k"])
+
+    def test_call_unions(self):
+        assert free_vars(parse_cexp("(f a b)")) == frozenset(["f", "a", "b"])
+
+    def test_exit_closed(self):
+        assert free_vars(Exit()) == frozenset()
+
+    def test_is_closed(self):
+        assert is_closed(parse_cexp("((lambda (x k) (k x)) (lambda (y j) (j y)) (lambda (r) (exit)))"))
+        assert not is_closed(parse_cexp("(f a)"))
+
+    def test_shadowing(self):
+        # inner x shadows; outer term still closed over x
+        lam = Lam(("x",), Call(Lam(("x",), Call(Ref("x"), ())), (Ref("x"),)))
+        assert free_vars(lam) == frozenset()
+
+
+class TestTraversals:
+    def setup_method(self):
+        self.prog = parse_cexp(
+            "((lambda (x k) (k x)) (lambda (y j) (j y)) (lambda (r) (exit)))"
+        )
+
+    def test_subterms_includes_self(self):
+        assert self.prog in list(subterms(self.prog))
+
+    def test_call_sites(self):
+        sites = call_sites(self.prog)
+        assert self.prog in sites
+        assert all(isinstance(c, Call) for c in sites)
+        assert len(sites) == 3  # outer, (k x), (j y)
+
+    def test_lambdas(self):
+        assert len(lambdas(self.prog)) == 3
+
+    def test_variables(self):
+        assert variables(self.prog) == frozenset(["x", "k", "y", "j", "r"])
+
+    def test_term_size_positive(self):
+        assert term_size(self.prog) > 5
+
+    @given(cexps())
+    def test_size_equals_subterm_count(self, t):
+        assert term_size(t) == len(list(subterms(t)))
+
+
+class TestPrettyPrinter:
+    @given(cexps())
+    def test_pp_parses_back(self, t):
+        assert parse_cexp(pp(t)) == t
+
+    def test_pp_shapes(self):
+        assert pp(Exit()) == "(exit)"
+        assert pp(Ref("x")) == "x"
+        assert pp(Lam(("x",), Exit())) == "(lambda (x) (exit))"
+
+
+class TestAlphatize:
+    def test_unique_binders(self):
+        # the same binder name used twice
+        src = "((lambda (x k) (k x)) (lambda (x) (exit)) (lambda (x) (exit)))"
+        t = alphatize(parse_cexp(src))
+        binders = [p for lam in lambdas(t) for p in lam.params]
+        assert len(binders) == len(set(binders))
+
+    def test_preserves_structure(self):
+        t = parse_cexp("((lambda (x k) (k x)) (lambda (y j) (j y)) (lambda (r) (exit)))")
+        renamed = alphatize(t)
+        assert term_size(renamed) == term_size(t)
+        assert len(call_sites(renamed)) == len(call_sites(t))
+
+    @given(cexps())
+    def test_free_vars_preserved(self, t):
+        assert free_vars(alphatize(t)) == free_vars(t)
+
+    @given(cexps())
+    def test_alphatize_makes_binders_unique(self, t):
+        renamed = alphatize(t)
+        binders = [p for lam in lambdas(renamed) for p in lam.params]
+        assert len(binders) == len(set(binders))

@@ -1,0 +1,142 @@
+"""The CPS transform: semantics preservation and CFA hygiene."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cps.concrete import interpret_with_heap
+from repro.cps.syntax import Call, Lam as CLam, Ref, is_closed, subterms as cps_subterms
+from repro.cesk.concrete import evaluate
+from repro.lam.cps_transform import cps_convert
+from repro.lam.parser import parse_expr
+from repro.lam.syntax import App, Lam, Let, Var
+from repro.corpus.lam_programs import (
+    PROGRAMS,
+    apply_tower,
+    church_add_program,
+    church_numeral,
+    eta_chain,
+)
+
+TERMINATING = ["id-simple", "mj09", "eta", "church-two-two"]
+
+
+def strip_conts(lam: Lam | CLam):
+    """The user-lambda skeleton of a CPS value: drop the continuation param."""
+    return lam.params[:-1] if lam.params and lam.params[-1].startswith("$k") else lam.params
+
+
+class TestTransformShape:
+    def test_output_is_closed(self):
+        for name in TERMINATING:
+            assert is_closed(cps_convert(PROGRAMS[name]))
+
+    def test_variable_becomes_halt_call(self):
+        out = cps_convert(parse_expr("(lambda (x) x)"))
+        # (halt (lambda (x $k) ($k x)))
+        assert isinstance(out, Call)
+        assert isinstance(out.fun, CLam)  # the halt continuation
+        assert isinstance(out.args[0], CLam)
+        assert out.args[0].params[0] == "x"
+
+    def test_no_administrative_redexes_for_atomic_args(self):
+        # ((lambda (x) x) y) with atomic pieces: output must not contain
+        # a ((lambda (v) ...) atom) redex introduced by the transform for
+        # the function or argument (only the continuation reification).
+        out = cps_convert(parse_expr("(let ((id (lambda (x) x))) (id id))"))
+        admin = [
+            t
+            for t in cps_subterms(out)
+            if isinstance(t, Call)
+            and isinstance(t.fun, CLam)
+            and len(t.fun.params) == 1
+            and t.fun.params[0].startswith("$")
+        ]
+        assert not admin
+
+    def test_user_lambdas_gain_one_param(self):
+        src = parse_expr("(lambda (a b) a)")
+        out = cps_convert(src)
+        converted = out.args[0]
+        assert converted.params[:2] == ("a", "b")
+        assert len(converted.params) == 3  # + continuation
+
+    def test_fresh_names_avoid_source(self):
+        out = cps_convert(parse_expr("(lambda (k) k)"))
+        converted = out.args[0]
+        assert converted.params[0] == "k"
+        assert converted.params[1] != "k"
+
+
+class TestSemanticsPreservation:
+    """cesk(e) and cps-machine(cps(e)) compute the same user value."""
+
+    @pytest.mark.parametrize("name", TERMINATING)
+    def test_final_value_matches(self, name):
+        expr = PROGRAMS[name]
+        direct_value = evaluate(expr)
+        final, heap = interpret_with_heap(cps_convert(expr))
+        cps_value = heap[final.env["r"]]
+        # the CPS result is the CPS image of the direct result: same user
+        # parameters, continuation appended
+        assert cps_value.lam.params[:-1] == direct_value.lam.params
+
+    def test_church_arithmetic(self):
+        expr = church_add_program(2, 3)
+        direct_value = evaluate(expr)
+        final, heap = interpret_with_heap(cps_convert(expr))
+        cps_value = heap[final.env["r"]]
+        assert cps_value.lam.params[:-1] == direct_value.lam.params
+
+    @pytest.mark.parametrize("n", [1, 3, 5])
+    def test_apply_tower(self, n):
+        expr = apply_tower(n)
+        direct_value = evaluate(expr)
+        final, heap = interpret_with_heap(cps_convert(expr))
+        cps_value = heap[final.env["r"]]
+        assert cps_value.lam.params[:-1] == direct_value.lam.params
+
+    @pytest.mark.parametrize("n", [1, 2, 4])
+    def test_eta_chain(self, n):
+        expr = eta_chain(n)
+        direct_value = evaluate(expr)
+        final, heap = interpret_with_heap(cps_convert(expr))
+        assert heap[final.env["r"]].lam.params[:-1] == direct_value.lam.params
+
+
+class TestGenerators:
+    def test_church_numeral_shape(self):
+        two = church_numeral(2)
+        assert isinstance(two, Lam) and two.params == ("f",)
+
+    def test_church_numeral_rejects_negative(self):
+        with pytest.raises(ValueError):
+            church_numeral(-1)
+
+    def test_eta_chain_rejects_zero(self):
+        with pytest.raises(ValueError):
+            eta_chain(0)
+
+    def test_generated_programs_are_closed(self):
+        from repro.lam.syntax import free_vars
+
+        assert not free_vars(eta_chain(3))
+        assert not free_vars(apply_tower(3))
+        assert not free_vars(church_add_program(1, 2))
+
+
+# a small random direct-style program strategy over terminating shapes:
+# towers of lets binding identities and applications of bound names
+@st.composite
+def terminating_programs(draw):
+    n = draw(st.integers(1, 4))
+    return apply_tower(n)
+
+
+class TestPropertyPreservation:
+    @settings(max_examples=15, deadline=None)
+    @given(terminating_programs())
+    def test_random_towers_preserved(self, expr):
+        direct_value = evaluate(expr)
+        final, heap = interpret_with_heap(cps_convert(expr))
+        assert heap[final.env["r"]].lam.params[:-1] == direct_value.lam.params

@@ -1,0 +1,156 @@
+"""Kleene iteration, widening, worklist exploration (paper section 5.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.fixpoint import (
+    Collecting,
+    FixpointDiverged,
+    kleene_iterate,
+    kleene_iterate_widened,
+    reachable,
+    worklist_explore,
+)
+from repro.core.lattice import PowersetLattice
+
+
+class TestKleene:
+    def setup_method(self):
+        self.ps = PowersetLattice()
+
+    def test_constant_function(self):
+        assert kleene_iterate(self.ps, lambda _s: frozenset([1, 2])) == frozenset([1, 2])
+
+    def test_accumulating_function(self):
+        # F(X) = {0} | {x+1 | x in X, x < 5}: lfp = {0..5}
+        def f(xs):
+            return frozenset([0]) | frozenset(x + 1 for x in xs if x < 5)
+
+        assert kleene_iterate(self.ps, f) == frozenset(range(6))
+
+    def test_bottom_fixed_point(self):
+        assert kleene_iterate(self.ps, lambda s: s) == frozenset()
+
+    def test_divergence_detected(self):
+        def f(xs):
+            return xs | frozenset([len(xs)])
+
+        with pytest.raises(FixpointDiverged):
+            kleene_iterate(self.ps, f, max_steps=50)
+
+    @given(st.frozensets(st.integers(0, 10), max_size=5))
+    def test_result_is_fixed_point(self, seed):
+        def f(xs):
+            return seed | frozenset(x + 1 for x in xs if x < 20)
+
+        fp = kleene_iterate(self.ps, f)
+        assert f(fp) == fp
+
+
+class TestWidening:
+    def setup_method(self):
+        self.ps = PowersetLattice()
+
+    def test_widen_with_join_matches_kleene(self):
+        def f(xs):
+            return frozenset([0]) | frozenset(x + 1 for x in xs if x < 5)
+
+        plain = kleene_iterate(self.ps, f)
+        widened = kleene_iterate_widened(self.ps, f, self.ps.join)
+        assert plain == widened
+
+    def test_aggressive_widening_overapproximates(self):
+        universe = frozenset(range(100))
+
+        def widen(_prev, _nxt):
+            return universe  # jump straight to an upper bound
+
+        def f(xs):
+            return frozenset([0]) | frozenset(x + 1 for x in xs if x < 50)
+
+        result = kleene_iterate_widened(self.ps, f, widen, max_steps=10)
+        exact = kleene_iterate(self.ps, f)
+        assert self.ps.leq(exact, result)
+
+    def test_widening_can_terminate_where_kleene_is_slow(self):
+        # F ascends one element per Kleene round; widening jumps to the
+        # full (closed) range after a few rounds and stabilizes at once.
+        def f(xs):
+            return xs | frozenset([(len(xs) * 7) % 50])
+
+        def widen(_prev, nxt):
+            return nxt if len(nxt) < 3 else nxt | frozenset(range(50))
+
+        with pytest.raises(FixpointDiverged):
+            kleene_iterate(self.ps, f, max_steps=5)
+        result = kleene_iterate_widened(self.ps, f, widen, max_steps=100)
+        assert f(result) <= result
+
+
+class TestReachable:
+    def test_linear_chain(self):
+        assert reachable([0], lambda n: [n + 1] if n < 4 else []) == frozenset(range(5))
+
+    def test_cycle_terminates(self):
+        assert reachable([0], lambda n: [(n + 1) % 3]) == frozenset([0, 1, 2])
+
+    def test_branching(self):
+        def succ(n):
+            return [2 * n, 2 * n + 1] if n < 4 else []
+
+        assert reachable([1], succ) == frozenset([1, 2, 3, 4, 5, 6, 7])
+
+    def test_budget(self):
+        with pytest.raises(FixpointDiverged):
+            reachable([0], lambda n: [n + 1], max_states=10)
+
+    @given(st.integers(0, 6))
+    def test_matches_naive_closure(self, start):
+        def succ(n):
+            return [(n * 2) % 7, (n + 3) % 7]
+
+        # naive iterate-to-fixpoint closure
+        seen = {start}
+        while True:
+            nxt = seen | {m for n in seen for m in succ(n)}
+            if nxt == seen:
+                break
+            seen = nxt
+        assert reachable([start], succ) == frozenset(seen)
+
+
+class _CounterCollecting(Collecting):
+    """A toy Collecting over a 'monad' of plain successor sets."""
+
+    def __init__(self):
+        self.ps = PowersetLattice()
+
+    def lattice(self):
+        return self.ps
+
+    def inject(self, state):
+        return frozenset([state])
+
+    def apply_step(self, step, fp):
+        out = set()
+        for s in fp:
+            out |= set(step(s))
+        return frozenset(out)
+
+    def successors_of(self, step, config):
+        return step(config)
+
+
+class TestWorklistAgreesWithKleene:
+    def test_same_fixed_point(self):
+        from repro.core.fixpoint import explore_fp
+
+        collecting = _CounterCollecting()
+
+        def step(n):
+            return [n + 1, n + 2] if n < 6 else [n]
+
+        kleene_fp = explore_fp(collecting, step, 0)
+        worklist_fp = worklist_explore(collecting, step, 0, collecting.successors_of)
+        assert kleene_fp == worklist_fp

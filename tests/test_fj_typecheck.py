@@ -1,0 +1,182 @@
+"""The FJ type system."""
+
+import pytest
+
+from repro.fj.parser import parse_program
+from repro.fj.typecheck import TypeError_, typecheck_program
+from repro.corpus.fj_programs import PROGRAMS
+
+
+class TestWellTyped:
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_corpus_typechecks(self, name):
+        result = typecheck_program(PROGRAMS[name])
+        assert result.main_type
+
+    def test_main_types(self):
+        assert typecheck_program(PROGRAMS["pair"]).main_type == "Object"
+        assert typecheck_program(PROGRAMS["bad-cast"]).main_type == "A"
+
+    def test_method_return_subtyping_ok(self):
+        p = parse_program(
+            """
+            class A extends Object { }
+            class B extends A { }
+            class F extends Object {
+              A make() { return new B(); }
+            }
+            new F().make()
+            """
+        )
+        assert typecheck_program(p).main_type == "A"
+
+
+class TestErrors:
+    def check_fails(self, source, fragment):
+        with pytest.raises(TypeError_) as err:
+            typecheck_program(parse_program(source))
+        assert fragment in str(err.value)
+
+    def test_unbound_variable(self):
+        self.check_fails(
+            "class A extends Object { Object m() { return ghost; } } new A()",
+            "unbound variable",
+        )
+
+    def test_unknown_field(self):
+        self.check_fails(
+            "class A extends Object { } new A().nope",
+            "no field",
+        )
+
+    def test_unknown_method(self):
+        self.check_fails("class A extends Object { } new A().nope()", "no method")
+
+    def test_wrong_arity_new(self):
+        self.check_fails(
+            "class A extends Object { Object f; } new A()",
+            "expects 1 arguments",
+        )
+
+    def test_wrong_arity_method(self):
+        self.check_fails(
+            """
+            class A extends Object { Object m(Object x) { return x; } }
+            new A().m()
+            """,
+            "expects 1 arguments",
+        )
+
+    def test_bad_argument_type(self):
+        self.check_fails(
+            """
+            class A extends Object { }
+            class B extends Object { }
+            class F extends Object { Object m(A x) { return x; } }
+            new F().m(new B())
+            """,
+            "argument of type B",
+        )
+
+    def test_bad_field_type(self):
+        self.check_fails(
+            """
+            class A extends Object { }
+            class B extends Object { }
+            class H extends Object { A inner; }
+            new H(new B())
+            """,
+            "field inner",
+        )
+
+    def test_bad_return_type(self):
+        self.check_fails(
+            """
+            class A extends Object { }
+            class B extends Object { }
+            class F extends Object { A m() { return new B(); } }
+            new F()
+            """,
+            "returns B",
+        )
+
+    def test_bad_override(self):
+        self.check_fails(
+            """
+            class A extends Object { }
+            class Base extends Object { Object m(Object x) { return x; } }
+            class Derived extends Base { Object m(A x) { return x; } }
+            new Derived()
+            """,
+            "different signature",
+        )
+
+    def test_field_shadowing_rejected(self):
+        self.check_fails(
+            """
+            class Q extends Object { }
+            class Base extends Object { Object f; }
+            class Derived extends Base { Object f; }
+            new Q()
+            """,
+            "shadows",
+        )
+
+    def test_duplicate_field_rejected(self):
+        self.check_fails(
+            "class A extends Object { Object f; Object f; } new A(new A(), new A())",
+            "twice",
+        )
+
+    def test_duplicate_method_rejected(self):
+        self.check_fails(
+            """
+            class A extends Object {
+              Object m() { return this; }
+              Object m() { return this; }
+            }
+            new A()
+            """,
+            "twice",
+        )
+
+    def test_unknown_param_type(self):
+        self.check_fails(
+            "class A extends Object { Object m(Ghost x) { return this; } } new A()",
+            "unknown parameter type",
+        )
+
+    def test_new_of_undefined(self):
+        self.check_fails("new Ghost()", "undefined class")
+
+
+class TestCasts:
+    def test_upcast_silent(self):
+        p = parse_program(
+            """
+            class A extends Object { }
+            (Object) new A()
+            """
+        )
+        result = typecheck_program(p)
+        assert result.main_type == "Object"
+        assert not result.warnings
+
+    def test_downcast_silent(self):
+        # (A) applied to a static Object is a downcast: accepted without
+        # warning, may fail at run time (and does, in bad-cast)
+        result = typecheck_program(PROGRAMS["bad-cast"])
+        assert result.main_type == "A"
+        assert not result.warnings
+
+    def test_stupid_cast_warned(self):
+        p = parse_program(
+            """
+            class A extends Object { }
+            class B extends Object { }
+            (A) new B()
+            """
+        )
+        result = typecheck_program(p)
+        assert result.main_type == "A"
+        assert any("stupid cast" in w for w in result.warnings)

@@ -1,0 +1,96 @@
+"""Galois connections and the store-sharing alpha/gamma (paper 5.1, 6.5)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.galois import (
+    ConfigHoareLattice,
+    GaloisConnection,
+    store_sharing_alpha,
+    store_sharing_connection,
+    store_sharing_gamma,
+)
+from repro.core.lattice import MapLattice, PowersetLattice
+from repro.core.store import BasicStore
+from repro.util.pcollections import pmap
+
+# configurations ((state, guts), store) over tiny carriers
+states = st.sampled_from(["s1", "s2", "s3"])
+gutses = st.sampled_from([0, 1])
+stores = st.dictionaries(
+    st.sampled_from(["a", "b"]), st.frozensets(st.integers(0, 2), max_size=2), max_size=2
+).map(pmap)
+configs = st.frozensets(st.tuples(st.tuples(states, gutses), stores), max_size=4)
+widened = st.tuples(st.frozensets(st.tuples(states, gutses), max_size=4), stores)
+
+STORE_LATTICE = BasicStore().lattice()
+
+
+class TestStoreSharingAlphaGamma:
+    def setup_method(self):
+        self.alpha = store_sharing_alpha(STORE_LATTICE)
+        self.gamma = store_sharing_gamma()
+
+    def test_alpha_joins_stores(self):
+        s1 = pmap({"a": frozenset([1])})
+        s2 = pmap({"a": frozenset([2]), "b": frozenset([3])})
+        fp = frozenset([(("s1", 0), s1), (("s2", 0), s2)])
+        states_out, store = self.alpha(fp)
+        assert states_out == frozenset([("s1", 0), ("s2", 0)])
+        assert store["a"] == frozenset([1, 2])
+        assert store["b"] == frozenset([3])
+
+    def test_alpha_of_empty(self):
+        states_out, store = self.alpha(frozenset())
+        assert states_out == frozenset() and store == pmap()
+
+    def test_gamma_spreads_store(self):
+        store = pmap({"a": frozenset([1])})
+        result = self.gamma((frozenset([("s1", 0), ("s2", 1)]), store))
+        assert result == frozenset([(("s1", 0), store), (("s2", 1), store)])
+
+    @given(configs)
+    def test_alpha_gamma_extensive(self, fp):
+        # c <= gamma(alpha(c)) in the Hoare order on configurations
+        hoare = ConfigHoareLattice(STORE_LATTICE)
+        assert hoare.leq(fp, self.gamma(self.alpha(fp)))
+
+    @given(widened)
+    def test_gamma_alpha_reductive(self, w):
+        states_in, store = w
+        back = self.alpha(self.gamma(w))
+        abstract = store_sharing_connection(STORE_LATTICE).abstract
+        assert abstract.leq(back, w)
+
+
+class TestConnectionLaws:
+    def test_store_sharing_satisfies_galois_laws_on_samples(self):
+        conn = store_sharing_connection(STORE_LATTICE)
+        s_small = pmap({"a": frozenset([1])})
+        s_big = pmap({"a": frozenset([1, 2])})
+        concrete_samples = [
+            frozenset(),
+            frozenset([(("s1", 0), s_small)]),
+            frozenset([(("s1", 0), s_small), (("s2", 0), s_big)]),
+        ]
+        abstract_samples = [
+            (frozenset(), pmap()),
+            (frozenset([("s1", 0)]), s_small),
+            (frozenset([("s1", 0), ("s2", 0)]), s_big),
+        ]
+        assert conn.check_laws(concrete_samples, abstract_samples)
+
+    @given(configs, widened)
+    def test_adjunction_pointwise(self, c, a):
+        conn = store_sharing_connection(STORE_LATTICE)
+        assert conn.is_adjoint_on(c, a)
+
+    def test_check_laws_detects_broken_connection(self):
+        ps = PowersetLattice()
+        broken = GaloisConnection(
+            concrete=ps,
+            abstract=ps,
+            alpha=lambda c: frozenset(),  # not extensive
+            gamma=lambda a: frozenset(),
+        )
+        assert not broken.check_laws([frozenset([1])], [frozenset()])

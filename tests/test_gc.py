@@ -1,0 +1,138 @@
+"""Abstract garbage collection machinery (paper 6.4)."""
+
+from dataclasses import dataclass
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.gc import (
+    GarbageCollector,
+    MonadicStoreCollector,
+    collect_store,
+    reachable_addresses,
+)
+from repro.core.monads import StorePassing
+from repro.core.store import BasicStore
+
+
+@dataclass(frozen=True)
+class Node:
+    """A toy stored value pointing at other addresses."""
+
+    points_to: frozenset
+
+    @staticmethod
+    def to(*addrs):
+        return Node(frozenset(addrs))
+
+
+class GraphTouching:
+    """Touchability over Node graphs; roots supplied per-state as a set."""
+
+    def touched_by_state(self, pstate):
+        return frozenset(pstate)
+
+    def touched_by_value(self, value):
+        return value.points_to
+
+
+def build_store(store_like, edges):
+    store = store_like.empty()
+    for addr, targets in edges.items():
+        store = store_like.bind(store, addr, frozenset([Node.to(*targets)]))
+    return store
+
+
+class TestReachability:
+    def setup_method(self):
+        self.s = BasicStore()
+
+    def test_direct_roots_always_reachable(self):
+        store = build_store(self.s, {"a": []})
+        assert reachable_addresses(self.s, store, ["a"], lambda v: v.points_to) == frozenset(
+            ["a"]
+        )
+
+    def test_transitive_chain(self):
+        store = build_store(self.s, {"a": ["b"], "b": ["c"], "c": []})
+        live = reachable_addresses(self.s, store, ["a"], lambda v: v.points_to)
+        assert live == frozenset(["a", "b", "c"])
+
+    def test_unreachable_excluded(self):
+        store = build_store(self.s, {"a": ["b"], "b": [], "junk": ["a"]})
+        live = reachable_addresses(self.s, store, ["a"], lambda v: v.points_to)
+        assert "junk" not in live
+
+    def test_cycles_terminate(self):
+        store = build_store(self.s, {"a": ["b"], "b": ["a"]})
+        live = reachable_addresses(self.s, store, ["a"], lambda v: v.points_to)
+        assert live == frozenset(["a", "b"])
+
+    def test_multiple_values_per_address(self):
+        s = self.s
+        store = s.empty()
+        store = s.bind(store, "a", frozenset([Node.to("b"), Node.to("c")]))
+        store = s.bind(store, "b", frozenset([Node.to()]))
+        store = s.bind(store, "c", frozenset([Node.to()]))
+        live = reachable_addresses(s, store, ["a"], lambda v: v.points_to)
+        assert live == frozenset(["a", "b", "c"])
+
+    @given(
+        st.dictionaries(
+            st.sampled_from("abcdef"),
+            st.lists(st.sampled_from("abcdef"), max_size=3),
+            max_size=6,
+        ),
+        st.frozensets(st.sampled_from("abcdef"), max_size=2),
+    )
+    def test_reachability_is_sound_and_idempotent(self, edges, roots):
+        store = build_store(self.s, edges)
+        live = reachable_addresses(self.s, store, roots, lambda v: v.points_to)
+        # roots live; and re-sweeping from live set adds nothing
+        assert roots <= live
+        again = reachable_addresses(self.s, store, live, lambda v: v.points_to)
+        assert again == live
+
+
+class TestCollectStore:
+    def setup_method(self):
+        self.s = BasicStore()
+        self.touching = GraphTouching()
+
+    def test_collect_drops_garbage(self):
+        store = build_store(self.s, {"a": ["b"], "b": [], "junk": []})
+        collected = collect_store(self.s, store, frozenset(["a"]), self.touching)
+        assert set(self.s.addresses(collected)) == {"a", "b"}
+
+    def test_collect_preserves_live_values(self):
+        store = build_store(self.s, {"a": ["b"], "b": []})
+        collected = collect_store(self.s, store, frozenset(["a"]), self.touching)
+        assert self.s.fetch(collected, "a") == self.s.fetch(store, "a")
+
+    def test_collect_is_idempotent(self):
+        store = build_store(self.s, {"a": ["b"], "b": [], "x": ["y"], "y": []})
+        once = collect_store(self.s, store, frozenset(["a"]), self.touching)
+        twice = collect_store(self.s, once, frozenset(["a"]), self.touching)
+        assert once == twice
+
+    def test_empty_roots_clear_store(self):
+        store = build_store(self.s, {"a": []})
+        collected = collect_store(self.s, store, frozenset(), self.touching)
+        assert not list(self.s.addresses(collected))
+
+
+class TestGarbageCollectorClasses:
+    def test_default_gc_is_noop(self):
+        sp = StorePassing()
+        collector = GarbageCollector(sp)
+        result = sp.run(collector.gc(frozenset(["a"])), "guts", "store")
+        assert result == [((None, "guts"), "store")]
+
+    def test_monadic_collector_sweeps_store(self):
+        sp = StorePassing()
+        s = BasicStore()
+        collector = MonadicStoreCollector(sp, s, GraphTouching())
+        store = build_store(s, {"a": [], "junk": []})
+        results = sp.run(collector.gc(frozenset(["a"])), "guts", store)
+        [((_, _guts), swept)] = results
+        assert set(s.addresses(swept)) == {"a"}

@@ -1,0 +1,183 @@
+"""Direct-style syntax, parser, desugaring, alphatization."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cps.parser import ParseError
+from repro.lam.parser import parse_expr
+from repro.lam.syntax import (
+    App,
+    Lam,
+    Let,
+    Var,
+    alphatize,
+    desugar_let,
+    free_vars,
+    pp,
+    subterms,
+    term_size,
+)
+
+names = st.sampled_from(["x", "y", "z", "f"])
+
+
+def exprs(depth=3):
+    if depth == 0:
+        return st.builds(Var, names)
+    sub = exprs(depth - 1)
+    return st.one_of(
+        st.builds(Var, names),
+        st.builds(lambda p, b: Lam((p,), b), names, sub),
+        st.builds(lambda f, a: App(f, (a,)), sub, sub),
+        st.builds(Let, names, sub, sub),
+    )
+
+
+class TestParser:
+    def test_var(self):
+        assert parse_expr("x") == Var("x")
+
+    def test_lambda(self):
+        assert parse_expr("(lambda (x) x)") == Lam(("x",), Var("x"))
+
+    def test_multi_param_lambda(self):
+        assert parse_expr("(lambda (x y) x)") == Lam(("x", "y"), Var("x"))
+
+    def test_application(self):
+        assert parse_expr("(f a b)") == App(Var("f"), (Var("a"), Var("b")))
+
+    def test_let(self):
+        assert parse_expr("(let ((x f)) x)") == Let("x", Var("f"), Var("x"))
+
+    def test_let_star_nests(self):
+        t = parse_expr("(let* ((x f) (y x)) y)")
+        assert t == Let("x", Var("f"), Let("y", Var("x"), Var("y")))
+
+    def test_let_requires_single_binding(self):
+        with pytest.raises(ParseError):
+            parse_expr("(let ((x f) (y g)) x)")
+
+    def test_malformed_let(self):
+        with pytest.raises(ParseError):
+            parse_expr("(let (x f) x)")
+
+    def test_duplicate_params(self):
+        with pytest.raises(ParseError):
+            parse_expr("(lambda (x x) x)")
+
+    def test_keyword_as_var(self):
+        with pytest.raises(ParseError):
+            parse_expr("(f let)")
+
+    def test_comments(self):
+        assert parse_expr("; hello\n(f x) ; goodbye") == App(Var("f"), (Var("x"),))
+
+
+class TestFreeVars:
+    def test_var(self):
+        assert free_vars(Var("x")) == frozenset(["x"])
+
+    def test_lambda_binds(self):
+        assert free_vars(parse_expr("(lambda (x) (x y))")) == frozenset(["y"])
+
+    def test_let_binds_body_only(self):
+        t = parse_expr("(let ((x y)) (x z))")
+        assert free_vars(t) == frozenset(["y", "z"])
+
+    def test_let_rhs_not_in_scope_of_itself(self):
+        t = parse_expr("(let ((x x)) x)")
+        assert free_vars(t) == frozenset(["x"])
+
+    @given(exprs())
+    def test_desugar_preserves_free_vars(self, t):
+        assert free_vars(desugar_let(t)) == free_vars(t)
+
+
+class TestDesugar:
+    def test_let_becomes_application(self):
+        t = desugar_let(parse_expr("(let ((x f)) x)"))
+        assert t == App(Lam(("x",), Var("x")), (Var("f"),))
+
+    @given(exprs())
+    def test_no_lets_remain(self, t):
+        assert not any(isinstance(s, Let) for s in subterms(desugar_let(t)))
+
+
+class TestPrettyPrint:
+    @given(exprs())
+    def test_roundtrip(self, t):
+        assert parse_expr(pp(t)) == t
+
+
+class TestUniquify:
+    def test_already_unique_is_unchanged(self):
+        from repro.lam.syntax import uniquify
+
+        t = parse_expr("(let ((id (lambda (x) x))) (id (lambda (y) y)))")
+        assert uniquify(t) == t
+
+    def test_duplicate_binders_renamed(self):
+        from repro.lam.syntax import uniquify, subterms
+
+        t = parse_expr("((lambda (x) x) (lambda (x) x))")
+        u = uniquify(t)
+        binders = [p for s in subterms(u) if isinstance(s, Lam) for p in s.params]
+        assert len(binders) == len(set(binders))
+
+    def test_shadowing_resolved_correctly(self):
+        from repro.lam.syntax import uniquify
+        from repro.cesk.concrete import evaluate
+
+        # the capture case hypothesis found: lets rebinding the same name
+        t = parse_expr(
+            "((let ((v (lambda (a) a))) v) (let ((v (lambda (b) (lambda (c) c)))) v))"
+        )
+        assert evaluate(uniquify(t)).lam.params == evaluate(t).lam.params
+
+    @given(exprs())
+    def test_free_vars_preserved(self, t):
+        from repro.lam.syntax import uniquify
+
+        assert free_vars(uniquify(t)) == free_vars(t)
+
+    @given(exprs())
+    def test_binders_unique_afterwards(self, t):
+        from repro.lam.syntax import uniquify
+
+        u = uniquify(t)
+        binders = []
+        for s in subterms(u):
+            if isinstance(s, Lam):
+                binders.extend(s.params)
+            elif isinstance(s, Let):
+                binders.append(s.var)
+        assert len(binders) == len(set(binders))
+
+    @given(exprs())
+    def test_idempotent(self, t):
+        from repro.lam.syntax import uniquify
+
+        once = uniquify(t)
+        assert uniquify(once) == once
+
+
+class TestAlphatize:
+    @given(exprs())
+    def test_free_vars_preserved(self, t):
+        assert free_vars(alphatize(t)) == free_vars(t)
+
+    @given(exprs())
+    def test_binders_unique(self, t):
+        renamed = alphatize(t)
+        binders = []
+        for s in subterms(renamed):
+            if isinstance(s, Lam):
+                binders.extend(s.params)
+            elif isinstance(s, Let):
+                binders.append(s.var)
+        assert len(binders) == len(set(binders))
+
+    @given(exprs())
+    def test_size_preserved(self, t):
+        assert term_size(alphatize(t)) == term_size(t)

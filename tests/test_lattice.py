@@ -1,0 +1,216 @@
+"""Lattice laws, unit-tested and property-tested (paper section 5.1-5.2).
+
+Every instance must satisfy: partial-order laws for ``leq``; join/meet
+being least-upper/greatest-lower bounds; idempotence, commutativity,
+associativity and absorption.  ``hypothesis`` drives the algebraic laws
+over randomly generated elements of each carrier.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.lattice import (
+    AbsNat,
+    AbsNatLattice,
+    DualLattice,
+    FlatLattice,
+    Lattice,
+    MapLattice,
+    PairLattice,
+    PowersetLattice,
+    ProductLattice,
+    TopUndefined,
+    TrivialCountLattice,
+    UnitLattice,
+    join_with,
+)
+from repro.util.pcollections import pmap
+
+powersets = st.frozensets(st.integers(0, 5), max_size=4)
+maps = st.dictionaries(st.text("ab", min_size=1, max_size=1), powersets, max_size=3).map(pmap)
+absnats = st.sampled_from(list(AbsNat))
+flat_elems = st.one_of(
+    st.just(FlatLattice.BOT), st.just(FlatLattice.TOP), st.integers(0, 3)
+)
+
+
+def lattice_and_elements():
+    """(lattice, element strategy) pairs for the generic law tests."""
+    ps = PowersetLattice()
+    return [
+        (UnitLattice(), st.just(())),
+        (ps, powersets),
+        (PairLattice(ps, ps), st.tuples(powersets, powersets)),
+        (MapLattice(ps), maps),
+        (AbsNatLattice(), absnats),
+        (TrivialCountLattice(), st.just(AbsNat.MANY)),
+        (FlatLattice(), flat_elems),
+        (DualLattice(PowersetLattice(frozenset(range(6)))), powersets),
+        (ProductLattice(ps, AbsNatLattice()), st.tuples(powersets, absnats)),
+    ]
+
+
+@pytest.mark.parametrize("lattice,strategy", lattice_and_elements())
+def test_lattice_laws(lattice: Lattice, strategy):
+    @given(strategy, strategy, strategy)
+    def laws(x, y, z):
+        # partial order
+        assert lattice.leq(x, x)
+        assert lattice.leq(lattice.bottom(), x)
+        # join is an upper bound, meet a lower bound
+        j = lattice.join(x, y)
+        assert lattice.leq(x, j) and lattice.leq(y, j)
+        m = lattice.meet(x, y)
+        assert lattice.leq(m, x) and lattice.leq(m, y)
+        # idempotence / commutativity / associativity (up to order-equivalence)
+        assert lattice.equiv(lattice.join(x, x), x)
+        assert lattice.equiv(lattice.join(x, y), lattice.join(y, x))
+        assert lattice.equiv(
+            lattice.join(lattice.join(x, y), z), lattice.join(x, lattice.join(y, z))
+        )
+        assert lattice.equiv(lattice.meet(x, y), lattice.meet(y, x))
+        # absorption
+        assert lattice.equiv(lattice.join(x, lattice.meet(x, y)), x)
+        assert lattice.equiv(lattice.meet(x, lattice.join(x, y)), x)
+        # bottom is a unit for join
+        assert lattice.equiv(lattice.join(lattice.bottom(), x), x)
+        # leq agrees with join
+        assert lattice.leq(x, y) == lattice.equiv(lattice.join(x, y), y)
+
+    laws()
+
+
+class TestPowerset:
+    def test_bottom_is_empty(self):
+        assert PowersetLattice().bottom() == frozenset()
+
+    def test_top_needs_universe(self):
+        with pytest.raises(TopUndefined):
+            PowersetLattice().top()
+        assert PowersetLattice(frozenset([1, 2])).top() == frozenset([1, 2])
+
+    def test_join_is_union(self):
+        ps = PowersetLattice()
+        assert ps.join(frozenset([1]), frozenset([2])) == frozenset([1, 2])
+
+    def test_meet_is_intersection(self):
+        ps = PowersetLattice()
+        assert ps.meet(frozenset([1, 2]), frozenset([2, 3])) == frozenset([2])
+
+
+class TestMapLattice:
+    def setup_method(self):
+        self.ml = MapLattice(PowersetLattice())
+
+    def test_join_is_pointwise(self):
+        m1 = pmap({"x": frozenset([1])})
+        m2 = pmap({"x": frozenset([2]), "y": frozenset([3])})
+        joined = self.ml.join(m1, m2)
+        assert joined["x"] == frozenset([1, 2])
+        assert joined["y"] == frozenset([3])
+
+    def test_absent_keys_read_as_bottom(self):
+        assert self.ml.lookup(pmap(), "zzz") == frozenset()
+
+    def test_leq_with_missing_keys(self):
+        small = pmap({"x": frozenset([1])})
+        big = pmap({"x": frozenset([1, 2]), "y": frozenset([3])})
+        assert self.ml.leq(small, big)
+        assert not self.ml.leq(big, small)
+
+    def test_binding_to_bottom_is_leq_empty(self):
+        # a key explicitly bound to the bottom value adds no information
+        m = pmap({"x": frozenset()})
+        assert self.ml.leq(m, pmap())
+        assert self.ml.equiv(m, pmap())
+
+    def test_meet_drops_disjoint_keys(self):
+        m1 = pmap({"x": frozenset([1, 2]), "y": frozenset([5])})
+        m2 = pmap({"x": frozenset([2, 3]), "z": frozenset([6])})
+        met = self.ml.meet(m1, m2)
+        assert met == pmap({"x": frozenset([2])})
+
+
+class TestAbsNat:
+    def test_plus_zero_is_identity(self):
+        for n in AbsNat:
+            assert AbsNat.ZERO.plus(n) is n
+            assert n.plus(AbsNat.ZERO) is n
+
+    def test_one_plus_one_is_many(self):
+        assert AbsNat.ONE.plus(AbsNat.ONE) is AbsNat.MANY
+
+    def test_many_absorbs(self):
+        assert AbsNat.MANY.plus(AbsNat.ONE) is AbsNat.MANY
+        assert AbsNat.MANY.plus(AbsNat.MANY) is AbsNat.MANY
+
+    @given(absnats, absnats)
+    def test_plus_commutative(self, a, b):
+        assert a.plus(b) is b.plus(a)
+
+    @given(absnats, absnats, absnats)
+    def test_plus_associative(self, a, b, c):
+        assert a.plus(b).plus(c) is a.plus(b.plus(c))
+
+    @given(absnats, absnats)
+    def test_plus_monotone(self, a, b):
+        lat = AbsNatLattice()
+        assert lat.leq(a, a.plus(b))
+
+    def test_chain_order(self):
+        lat = AbsNatLattice()
+        assert lat.leq(AbsNat.ZERO, AbsNat.ONE)
+        assert lat.leq(AbsNat.ONE, AbsNat.MANY)
+        assert not lat.leq(AbsNat.MANY, AbsNat.ONE)
+
+    def test_trivial_lattice_collapses(self):
+        triv = TrivialCountLattice()
+        assert triv.join(AbsNat.ZERO, AbsNat.ONE) is AbsNat.MANY
+        assert triv.leq(AbsNat.MANY, AbsNat.ZERO)
+
+
+class TestFlatLattice:
+    def setup_method(self):
+        self.fl = FlatLattice()
+
+    def test_distinct_points_incomparable(self):
+        assert not self.fl.leq(1, 2)
+        assert not self.fl.leq(2, 1)
+
+    def test_distinct_points_join_to_top(self):
+        assert self.fl.join(1, 2) == FlatLattice.TOP
+
+    def test_distinct_points_meet_to_bottom(self):
+        assert self.fl.meet(1, 2) == FlatLattice.BOT
+
+    def test_same_point_join(self):
+        assert self.fl.join(1, 1) == 1
+
+
+class TestDual:
+    def test_dual_swaps_bounds(self):
+        ps = PowersetLattice(frozenset([1, 2]))
+        dual = DualLattice(ps)
+        assert dual.bottom() == frozenset([1, 2])
+        assert dual.top() == frozenset()
+        assert dual.join(frozenset([1]), frozenset([2])) == frozenset()
+
+
+class TestDerived:
+    def test_join_all(self):
+        ps = PowersetLattice()
+        sets = [frozenset([i]) for i in range(4)]
+        assert ps.join_all(sets) == frozenset(range(4))
+
+    def test_join_all_empty_is_bottom(self):
+        assert PowersetLattice().join_all([]) == frozenset()
+
+    def test_join_with(self):
+        ps = PowersetLattice()
+        result = join_with(ps, lambda n: frozenset([n, n + 10]), [1, 2])
+        assert result == frozenset([1, 2, 11, 12])
+
+    def test_product_needs_components(self):
+        with pytest.raises(ValueError):
+            ProductLattice()

@@ -1,0 +1,129 @@
+"""The full configuration matrix, per language.
+
+The paper's framework promises that the degrees of freedom compose:
+any ``Addressable`` x any ``StoreLike`` x {per-state, shared} x {GC, no
+GC} is a sound analysis.  This module runs the entire matrix on one
+small program per language and checks the two invariants every cell
+must satisfy:
+
+* the concrete answer is covered;
+* the analysis terminates with a non-trivial state set.
+"""
+
+import pytest
+
+from repro.core.addresses import BoundedNat, KCFA, LContext, ZeroCFA
+from repro.core.store import BasicStore, CountingStore
+
+ADDRESSINGS = [
+    pytest.param(lambda: ZeroCFA(), id="0cfa"),
+    pytest.param(lambda: KCFA(1), id="1cfa"),
+    pytest.param(lambda: KCFA(2), id="2cfa"),
+    pytest.param(lambda: LContext(2), id="lctx2"),
+    pytest.param(lambda: BoundedNat(16), id="bound16"),
+]
+STORES = [
+    pytest.param(lambda: BasicStore(), id="basic"),
+    pytest.param(lambda: CountingStore(), id="counting"),
+]
+SHAPES = [
+    pytest.param((False, False), id="per-state"),
+    pytest.param((True, False), id="shared"),
+    pytest.param((False, True), id="per-state+gc"),
+    pytest.param((True, True), id="shared+gc"),
+]
+
+
+@pytest.mark.parametrize("make_addressing", ADDRESSINGS)
+@pytest.mark.parametrize("make_store", STORES)
+@pytest.mark.parametrize("shape", SHAPES)
+class TestCPSMatrix:
+    def test_cps_cell(self, make_addressing, make_store, shape):
+        from repro.cps.analysis import analyse
+        from repro.cps.concrete import interpret
+        from repro.corpus.cps_programs import PROGRAMS
+
+        shared, gc = shape
+        program = PROGRAMS["mj09"]
+        interpret(program)  # sanity: the program terminates concretely
+        analysis = analyse(
+            make_addressing(), store_like=make_store(), shared=shared, gc=gc
+        )
+        result = analysis.run(program, worklist=not shared)
+        assert result.num_states() >= 3
+        # the Exit control point is reached in every configuration
+        assert result.reaching_exit()
+
+
+@pytest.mark.parametrize("make_addressing", ADDRESSINGS)
+@pytest.mark.parametrize("make_store", STORES)
+@pytest.mark.parametrize("shape", SHAPES)
+class TestCESKMatrix:
+    def test_cesk_cell(self, make_addressing, make_store, shape):
+        from repro.cesk.analysis import analyse_cesk
+        from repro.cesk.concrete import evaluate
+        from repro.corpus.lam_programs import PROGRAMS
+
+        shared, gc = shape
+        program = PROGRAMS["mj09"]
+        concrete = evaluate(program)
+        analysis = analyse_cesk(
+            make_addressing(), store_like=make_store(), shared=shared, gc=gc
+        )
+        result = analysis.run(program, worklist=not shared)
+        assert concrete.lam in result.final_values()
+
+
+@pytest.mark.parametrize("make_addressing", ADDRESSINGS)
+@pytest.mark.parametrize("make_store", STORES)
+@pytest.mark.parametrize("shape", SHAPES)
+class TestFJMatrix:
+    def test_fj_cell(self, make_addressing, make_store, shape):
+        from repro.fj.analysis import analyse_fj
+        from repro.fj.concrete import evaluate_fj
+        from repro.corpus.fj_programs import PROGRAMS
+
+        shared, gc = shape
+        program = PROGRAMS["animals"]
+        concrete = evaluate_fj(program)
+        analysis = analyse_fj(
+            program, make_addressing(), store_like=make_store(), shared=shared, gc=gc
+        )
+        result = analysis.run(program, worklist=not shared)
+        assert concrete.cls in result.final_classes()
+
+
+class TestMatrixCoherence:
+    """Cross-cell relationships that must hold regardless of configuration."""
+
+    @pytest.mark.parametrize("make_addressing", ADDRESSINGS)
+    def test_shared_covers_per_state_everywhere(self, make_addressing):
+        from repro.cps.analysis import analyse
+        from repro.corpus.cps_programs import PROGRAMS
+
+        program = PROGRAMS["mj09"]
+        per_state = analyse(make_addressing()).run(program)
+        shared = analyse(make_addressing(), shared=True).run(program)
+        for var, lams in per_state.flows_to().items():
+            assert lams <= shared.flows_to().get(var, frozenset())
+
+    @pytest.mark.parametrize("make_store", STORES)
+    def test_store_choice_does_not_change_flows(self, make_store):
+        from repro.cps.analysis import analyse
+        from repro.core.addresses import KCFA
+        from repro.corpus.cps_programs import PROGRAMS
+
+        program = PROGRAMS["mj09"]
+        reference = analyse(KCFA(1)).run(program).flows_to()
+        result = analyse(KCFA(1), store_like=make_store()).run(program).flows_to()
+        assert result == reference
+
+    @pytest.mark.parametrize("make_addressing", ADDRESSINGS)
+    def test_gc_only_shrinks_stores(self, make_addressing):
+        from repro.cps.analysis import analyse
+        from repro.corpus.cps_programs import PROGRAMS
+
+        program = PROGRAMS["mj09"]
+        plain = analyse(make_addressing()).run(program)
+        swept = analyse(make_addressing(), gc=True).run(program)
+        assert swept.store_size() <= plain.store_size()

@@ -1,0 +1,133 @@
+"""Unit and property tests for the persistent collections substrate."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.pcollections import PMap, pmap
+
+keys = st.text(min_size=1, max_size=3)
+values = st.integers(-5, 5)
+entry_dicts = st.dictionaries(keys, values, max_size=6)
+
+
+class TestPMapBasics:
+    def test_empty(self):
+        m = pmap()
+        assert len(m) == 0
+        assert "x" not in m
+        assert list(m) == []
+
+    def test_from_dict(self):
+        m = pmap({"a": 1, "b": 2})
+        assert m["a"] == 1
+        assert m["b"] == 2
+        assert len(m) == 2
+
+    def test_from_pairs(self):
+        m = pmap([("a", 1), ("b", 2)])
+        assert m["a"] == 1 and m["b"] == 2
+
+    def test_set_returns_new_map(self):
+        m1 = pmap({"a": 1})
+        m2 = m1.set("b", 2)
+        assert "b" not in m1
+        assert m2["b"] == 2
+        assert m2["a"] == 1
+
+    def test_set_overwrites(self):
+        m = pmap({"a": 1}).set("a", 9)
+        assert m["a"] == 9
+
+    def test_remove(self):
+        m = pmap({"a": 1, "b": 2}).remove("a")
+        assert "a" not in m
+        assert m["b"] == 2
+
+    def test_remove_missing_is_noop(self):
+        m = pmap({"a": 1})
+        assert m.remove("zzz") is m
+
+    def test_getitem_missing_raises(self):
+        with pytest.raises(KeyError):
+            pmap()["missing"]
+
+    def test_get_default(self):
+        assert pmap().get("x", 42) == 42
+        assert pmap({"x": 1}).get("x", 42) == 1
+
+
+class TestPMapValueSemantics:
+    def test_structural_equality(self):
+        m1 = pmap({"a": 1}).set("b", 2)
+        m2 = pmap({"b": 2}).set("a", 1)
+        assert m1 == m2
+        assert hash(m1) == hash(m2)
+
+    def test_equality_with_plain_mapping(self):
+        assert pmap({"a": 1}) == {"a": 1}
+
+    def test_inequality(self):
+        assert pmap({"a": 1}) != pmap({"a": 2})
+        assert pmap({"a": 1}) != pmap({})
+
+    def test_usable_in_sets(self):
+        s = {pmap({"a": 1}), pmap({"a": 1}), pmap({"b": 2})}
+        assert len(s) == 2
+
+
+class TestPMapUpdates:
+    def test_update(self):
+        m = pmap({"a": 1}).update({"b": 2, "a": 3})
+        assert m == pmap({"a": 3, "b": 2})
+
+    def test_update_with_combiner(self):
+        m = pmap({"a": frozenset([1])}).update_with(
+            lambda old, new: old | new, {"a": frozenset([2]), "b": frozenset([3])}
+        )
+        assert m["a"] == frozenset([1, 2])
+        assert m["b"] == frozenset([3])
+
+    def test_restrict(self):
+        m = pmap({"a": 1, "b": 2, "c": 3}).restrict(lambda k: k != "b")
+        assert m == pmap({"a": 1, "c": 3})
+
+    def test_map_values(self):
+        m = pmap({"a": 1, "b": 2}).map_values(lambda v: v * 10)
+        assert m == pmap({"a": 10, "b": 20})
+
+    def test_items_sorted_deterministic(self):
+        m = pmap({"b": 2, "a": 1})
+        assert m.items_sorted() == [("a", 1), ("b", 2)]
+
+    def test_to_dict_is_copy(self):
+        m = pmap({"a": 1})
+        d = m.to_dict()
+        d["a"] = 99
+        assert m["a"] == 1
+
+
+class TestPMapProperties:
+    @given(entry_dicts)
+    def test_roundtrip_through_dict(self, entries):
+        assert pmap(entries).to_dict() == entries
+
+    @given(entry_dicts, keys, values)
+    def test_set_then_get(self, entries, k, v):
+        assert pmap(entries).set(k, v)[k] == v
+
+    @given(entry_dicts, keys)
+    def test_remove_then_absent(self, entries, k):
+        assert k not in pmap(entries).set(k, 0).remove(k)
+
+    @given(entry_dicts, entry_dicts)
+    def test_update_agrees_with_dict_union(self, d1, d2):
+        merged = dict(d1)
+        merged.update(d2)
+        assert pmap(d1).update(d2) == pmap(merged)
+
+    @given(entry_dicts)
+    def test_hash_consistent_with_eq(self, entries):
+        m1 = pmap(entries)
+        m2 = pmap(list(entries.items()))
+        assert m1 == m2 and hash(m1) == hash(m2)

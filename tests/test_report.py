@@ -1,0 +1,78 @@
+"""The measurement/reporting layer behind the benchmark harness."""
+
+from repro.analysis.report import (
+    AnalysisMetrics,
+    fmt_table,
+    measure_cps,
+    metrics_of,
+    precision_summary,
+    timed,
+)
+from repro.cps.analysis import analyse_zerocfa
+from repro.corpus.cps_programs import PROGRAMS
+
+
+class TestPrecisionSummary:
+    def test_empty(self):
+        assert precision_summary({}) == {
+            "vars": 0,
+            "total_flows": 0,
+            "mean_flow": 0.0,
+            "max_flow": 0,
+        }
+
+    def test_counts(self):
+        flows = {"a": frozenset([1, 2]), "b": frozenset([3])}
+        summary = precision_summary(flows)
+        assert summary["vars"] == 2
+        assert summary["total_flows"] == 3
+        assert summary["mean_flow"] == 1.5
+        assert summary["max_flow"] == 2
+
+    def test_on_real_result(self):
+        result = analyse_zerocfa(PROGRAMS["mj09"])
+        summary = precision_summary(result.flows_to())
+        assert summary["vars"] > 0
+        assert summary["max_flow"] == 2
+
+
+class TestMetrics:
+    def test_metrics_of_reduces_result(self):
+        result = analyse_zerocfa(PROGRAMS["identity"])
+        m = metrics_of(result, "smoke", 0.5, note="hello")
+        assert m.label == "smoke"
+        assert m.states == result.num_states()
+        assert m.extra["note"] == "hello"
+
+    def test_measure_cps_times(self):
+        m = measure_cps(lambda: analyse_zerocfa(PROGRAMS["identity"]), "id")
+        assert m.seconds >= 0
+        assert m.states > 0
+
+    def test_row_includes_extras(self):
+        m = AnalysisMetrics("x", 0.1, 1, 2, 3, 4, {"k": "v"})
+        row = m.row(["k", "missing"])
+        assert row[0] == "x"
+        assert row[-2] == "v"
+        assert row[-1] == ""
+
+    def test_timed(self):
+        value, seconds = timed(lambda: sum(range(100)))
+        assert value == 4950
+        assert seconds >= 0
+
+
+class TestFmtTable:
+    def test_alignment(self):
+        out = fmt_table(["col", "c2"], [["a", "bbbb"], ["cc", "d"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_headers_wider_than_cells(self):
+        out = fmt_table(["a-very-long-header"], [["x"]])
+        assert "a-very-long-header" in out
+
+    def test_non_string_cells(self):
+        out = fmt_table(["n"], [[42]])
+        assert "42" in out

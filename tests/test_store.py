@@ -1,0 +1,156 @@
+"""``StoreLike`` instances: basic and counting stores (paper 6.2-6.3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.lattice import AbsNat
+from repro.core.store import BasicStore, CountingStore
+
+values = st.frozensets(st.integers(0, 5), min_size=1, max_size=3)
+addrs = st.sampled_from(["a", "b", "c"])
+#: a random script of (addr, value-set) bind operations
+bind_scripts = st.lists(st.tuples(addrs, values), max_size=8)
+
+
+class TestBasicStore:
+    def setup_method(self):
+        self.s = BasicStore()
+
+    def test_empty_fetch_is_bottom(self):
+        assert self.s.fetch(self.s.empty(), "a") == frozenset()
+
+    def test_bind_then_fetch(self):
+        store = self.s.bind(self.s.empty(), "a", frozenset([1]))
+        assert self.s.fetch(store, "a") == frozenset([1])
+
+    def test_bind_joins(self):
+        store = self.s.bind(self.s.empty(), "a", frozenset([1]))
+        store = self.s.bind(store, "a", frozenset([2]))
+        assert self.s.fetch(store, "a") == frozenset([1, 2])
+
+    def test_replace_overwrites(self):
+        store = self.s.bind(self.s.empty(), "a", frozenset([1, 2]))
+        store = self.s.replace(store, "a", frozenset([9]))
+        assert self.s.fetch(store, "a") == frozenset([9])
+
+    def test_bind_one_wraps_singleton(self):
+        store = self.s.bind_one(self.s.empty(), "a", 7)
+        assert self.s.fetch(store, "a") == frozenset([7])
+
+    def test_filter_store(self):
+        store = self.s.bind(self.s.empty(), "a", frozenset([1]))
+        store = self.s.bind(store, "b", frozenset([2]))
+        filtered = self.s.filter_store(store, lambda addr: addr == "a")
+        assert set(self.s.addresses(filtered)) == {"a"}
+
+    def test_update_defaults_to_weak(self):
+        store = self.s.bind(self.s.empty(), "a", frozenset([1]))
+        store = self.s.update(store, "a", frozenset([2]))
+        assert self.s.fetch(store, "a") == frozenset([1, 2])
+
+    def test_store_lattice_join(self):
+        lat = self.s.lattice()
+        s1 = self.s.bind(self.s.empty(), "a", frozenset([1]))
+        s2 = self.s.bind(self.s.empty(), "a", frozenset([2]))
+        joined = lat.join(s1, s2)
+        assert self.s.fetch(joined, "a") == frozenset([1, 2])
+
+    @given(bind_scripts)
+    def test_fetch_returns_join_of_all_binds(self, script):
+        store = self.s.empty()
+        expected: dict = {}
+        for addr, d in script:
+            store = self.s.bind(store, addr, d)
+            expected[addr] = expected.get(addr, frozenset()) | d
+        for addr, d in expected.items():
+            assert self.s.fetch(store, addr) == d
+
+    @given(bind_scripts, addrs, values)
+    def test_bind_monotone(self, script, addr, d):
+        store = self.s.empty()
+        for a, v in script:
+            store = self.s.bind(store, a, v)
+        bigger = self.s.bind(store, addr, d)
+        assert self.s.lattice().leq(store, bigger)
+
+
+class TestCountingStore:
+    def setup_method(self):
+        self.s = CountingStore()
+
+    def test_unbound_counts_zero(self):
+        assert self.s.count(self.s.empty(), "a") is AbsNat.ZERO
+
+    def test_single_bind_counts_one(self):
+        store = self.s.bind(self.s.empty(), "a", frozenset([1]))
+        assert self.s.count(store, "a") is AbsNat.ONE
+        assert self.s.fetch(store, "a") == frozenset([1])
+
+    def test_double_bind_counts_many(self):
+        store = self.s.bind(self.s.empty(), "a", frozenset([1]))
+        store = self.s.bind(store, "a", frozenset([2]))
+        assert self.s.count(store, "a") is AbsNat.MANY
+        assert self.s.fetch(store, "a") == frozenset([1, 2])
+
+    def test_replace_preserves_count(self):
+        store = self.s.bind(self.s.empty(), "a", frozenset([1]))
+        store = self.s.replace(store, "a", frozenset([9]))
+        assert self.s.count(store, "a") is AbsNat.ONE
+        assert self.s.fetch(store, "a") == frozenset([9])
+
+    def test_update_is_strong_when_count_is_one(self):
+        store = self.s.bind(self.s.empty(), "a", frozenset([1]))
+        store = self.s.update(store, "a", frozenset([9]))
+        assert self.s.fetch(store, "a") == frozenset([9])  # strong update
+
+    def test_update_is_weak_when_count_is_many(self):
+        store = self.s.bind(self.s.empty(), "a", frozenset([1]))
+        store = self.s.bind(store, "a", frozenset([2]))
+        store = self.s.update(store, "a", frozenset([9]))
+        assert self.s.fetch(store, "a") == frozenset([1, 2, 9])  # weak update
+
+    def test_singleton_addresses(self):
+        store = self.s.bind(self.s.empty(), "a", frozenset([1]))
+        store = self.s.bind(store, "b", frozenset([2]))
+        store = self.s.bind(store, "b", frozenset([3]))
+        assert self.s.singleton_addresses(store) == frozenset(["a"])
+
+    def test_filter_store(self):
+        store = self.s.bind(self.s.empty(), "a", frozenset([1]))
+        store = self.s.bind(store, "b", frozenset([2]))
+        filtered = self.s.filter_store(store, lambda addr: addr == "b")
+        assert set(self.s.addresses(filtered)) == {"b"}
+        assert self.s.count(filtered, "a") is AbsNat.ZERO
+
+    def test_store_lattice_joins_counts(self):
+        lat = self.s.lattice()
+        s1 = self.s.bind(self.s.empty(), "a", frozenset([1]))
+        s2 = self.s.bind(self.s.empty(), "a", frozenset([2]))
+        joined = lat.join(s1, s2)
+        # joining two independent single allocations cannot prove singleness
+        # beyond ONE join ONE = ONE (the lattice join, not abstract addition)
+        assert self.s.fetch(joined, "a") == frozenset([1, 2])
+        assert self.s.count(joined, "a") is AbsNat.ONE
+
+    @given(bind_scripts)
+    def test_count_matches_number_of_binds(self, script):
+        store = self.s.empty()
+        per_addr: dict = {}
+        for addr, d in script:
+            store = self.s.bind(store, addr, d)
+            per_addr[addr] = per_addr.get(addr, 0) + 1
+        for addr, n in per_addr.items():
+            expected = AbsNat.ONE if n == 1 else AbsNat.MANY
+            assert self.s.count(store, addr) is expected
+
+    @given(bind_scripts)
+    def test_value_sets_agree_with_basic_store(self, script):
+        basic = BasicStore()
+        counting = CountingStore()
+        bs, cs = basic.empty(), counting.empty()
+        for addr, d in script:
+            bs = basic.bind(bs, addr, d)
+            cs = counting.bind(cs, addr, d)
+        for addr, _ in script:
+            assert basic.fetch(bs, addr) == counting.fetch(cs, addr)

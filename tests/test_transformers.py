@@ -1,0 +1,149 @@
+"""The remaining monad transformers: ReaderT, WriterT, MaybeT.
+
+Laws are checked with the same run-and-compare scheme as the base
+monads, over several inner monads to exercise the transformer-ness.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.monads import (
+    Identity,
+    Just,
+    ListMonad,
+    MaybeT,
+    Monoid,
+    NOTHING,
+    ReaderT,
+    State,
+    WriterT,
+)
+
+ints = st.integers(-10, 10)
+
+INNERS = [Identity(), ListMonad()]
+
+
+def run_value(monad, mv):
+    if isinstance(monad, ReaderT):
+        return _run_inner(monad.inner, monad.run(mv, 7))
+    if isinstance(monad, (WriterT, MaybeT)):
+        return _run_inner(monad.inner, mv)
+    raise TypeError(monad)
+
+
+def _run_inner(inner, mv):
+    if isinstance(inner, State):
+        return mv(3)
+    return mv
+
+
+def transformer_stacks():
+    out = []
+    for inner in INNERS:
+        out.append(ReaderT(inner))
+        out.append(WriterT(inner))
+        out.append(MaybeT(inner))
+    out.append(MaybeT(State()))
+    return out
+
+
+@pytest.mark.parametrize(
+    "monad", transformer_stacks(), ids=lambda m: f"{type(m).__name__}<{type(m.inner).__name__}>"
+)
+def test_transformer_monad_laws(monad):
+    def f(x):
+        return monad.unit(x + 1)
+
+    def g(x):
+        return monad.unit(x * 2)
+
+    @given(ints)
+    def laws(a):
+        assert run_value(monad, monad.bind(monad.unit(a), f)) == run_value(monad, f(a))
+        m = f(a)
+        assert run_value(monad, monad.bind(m, monad.unit)) == run_value(monad, m)
+        lhs = monad.bind(monad.bind(m, f), g)
+        rhs = monad.bind(m, lambda x: monad.bind(f(x), g))
+        assert run_value(monad, lhs) == run_value(monad, rhs)
+
+    laws()
+
+
+class TestReaderT:
+    def test_ask_reaches_environment(self):
+        rt = ReaderT(ListMonad())
+        mv = rt.bind(rt.ask(), lambda env: rt.unit(env + 1))
+        assert rt.run(mv, 41) == [42]
+
+    def test_local(self):
+        rt = ReaderT(Identity())
+        assert rt.run(rt.local(lambda e: e * 2, rt.ask()), 21) == 42
+
+    def test_lift_ignores_environment(self):
+        rt = ReaderT(ListMonad())
+        assert rt.run(rt.lift([1, 2]), "whatever") == [1, 2]
+
+    def test_asks(self):
+        rt = ReaderT(Identity())
+        assert rt.run(rt.asks(len), "abc") == 3
+
+    def test_nondeterminism_distributes(self):
+        rt = ReaderT(ListMonad())
+        mv = rt.bind(rt.lift([1, 2]), lambda x: rt.bind(rt.ask(), lambda e: rt.unit(x + e)))
+        assert rt.run(mv, 10) == [11, 12]
+
+
+class TestWriterT:
+    def test_logs_accumulate_in_order(self):
+        wt = WriterT(Identity())
+        mv = wt.bind(wt.tell(("a",)), lambda _1: wt.bind(wt.tell(("b",)), lambda _2: wt.unit(9)))
+        assert wt.run(mv) == (9, ("a", "b"))
+
+    def test_over_list_logs_per_branch(self):
+        wt = WriterT(ListMonad())
+        mv = wt.bind(
+            wt.lift([1, 2]),
+            lambda x: wt.bind(wt.tell((x,)), lambda _: wt.unit(x * 10)),
+        )
+        assert wt.run(mv) == [(10, (1,)), (20, (2,))]
+
+    def test_custom_monoid(self):
+        wt = WriterT(Identity(), Monoid(mempty=0, mappend=lambda a, b: a + b))
+        mv = wt.bind(wt.tell(3), lambda _1: wt.bind(wt.tell(4), lambda _2: wt.unit("x")))
+        assert wt.run(mv) == ("x", 7)
+
+    def test_lift_has_empty_log(self):
+        wt = WriterT(ListMonad())
+        assert wt.run(wt.lift([5])) == [(5, ())]
+
+
+class TestMaybeT:
+    def test_failure_short_circuits(self):
+        mt = MaybeT(Identity())
+        mv = mt.bind(mt.mzero(), lambda _x: mt.unit(1))
+        assert mt.run(mv) is NOTHING
+
+    def test_success_passes_through(self):
+        mt = MaybeT(Identity())
+        assert mt.run(mt.bind(mt.unit(1), lambda x: mt.unit(x + 1))) == Just(2)
+
+    def test_mplus_recovers(self):
+        mt = MaybeT(Identity())
+        assert mt.run(mt.mplus(mt.mzero(), mt.unit(7))) == Just(7)
+        assert mt.run(mt.mplus(mt.unit(1), mt.unit(2))) == Just(1)
+
+    def test_over_list_prunes_per_branch(self):
+        mt = MaybeT(ListMonad())
+        mv = mt.bind(
+            mt.lift([1, 2, 3]),
+            lambda x: mt.unit(x) if x % 2 else mt.mzero(),
+        )
+        assert mt.run(mv) == [Just(1), NOTHING, Just(3)]
+
+    def test_over_state_threads_state(self):
+        state = State()
+        mt = MaybeT(state)
+        mv = mt.bind(mt.lift(state.modify(lambda s: s + 1)), lambda _x: mt.unit("ok"))
+        assert state.run(mv, 0) == (Just("ok"), 1)
