@@ -3,14 +3,17 @@
 Claims regenerated: Kleene iteration (the paper's ``kleeneIt``), the
 frontier worklist, and widened iteration are interchangeable evaluation
 strategies for the same collecting semantics -- identical fixed points,
-different costs.  Nothing in the semantics or the monad changes.
+different costs.  Nothing in the semantics or the monad changes.  The
+same holds one level up for the global-store engines: kleene, blind
+worklist and dependency-tracked worklist agree on the widened domain.
 """
 
 from conftest import run_once
 
 from repro.analysis.report import fmt_table, timed
 from repro.core.addresses import KCFA
-from repro.cps.analysis import analyse
+from repro.core.fixpoint import ENGINES
+from repro.cps.analysis import analyse, analyse_with_engine
 from repro.corpus.cps_programs import PROGRAMS, id_chain
 
 
@@ -56,6 +59,43 @@ def test_e9_strategy_cost_comparison(benchmark):
     # the worklist touches each configuration once; Kleene re-steps the
     # whole set every round -- the worklist should never be slower by much
     assert t_worklist <= t_kleene * 1.5
+
+
+def test_e9_global_store_engine_comparison(benchmark):
+    """The three global-store engines: same fixed point, ranked costs."""
+    program = id_chain(8)
+
+    def run():
+        out = {}
+        for engine in ENGINES:
+            stats = {}
+            result, seconds = timed(
+                lambda engine=engine, stats=stats: analyse_with_engine(
+                    program, engine, k=1, stats=stats
+                )
+            )
+            out[engine] = (result, seconds, stats)
+        return out
+
+    results = run_once(benchmark, run)
+    rows = [
+        (
+            engine,
+            f"{seconds:.3f}s",
+            result.num_states(),
+            stats.get("evaluations", "-"),
+            stats.get("retriggers", "-"),
+        )
+        for engine, (result, seconds, stats) in results.items()
+    ]
+    print()
+    print(fmt_table(["engine", "time", "states", "evaluations", "retriggers"], rows))
+    kleene = results["kleene"][0]
+    for engine in ("worklist", "depgraph"):
+        assert results[engine][0].configs() == kleene.configs(), engine
+        assert results[engine][0].flows_to() == kleene.flows_to(), engine
+    # dependency tracking never evaluates more than the blind worklist
+    assert results["depgraph"][2]["evaluations"] <= results["worklist"][2]["evaluations"]
 
 
 def test_e9_widened_iteration_is_sound(benchmark):

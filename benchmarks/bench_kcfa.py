@@ -9,7 +9,7 @@ grow with k.
 from conftest import run_once
 
 from repro.analysis.report import fmt_table, precision_summary, timed
-from repro.cps.analysis import analyse_kcfa, analyse_shared
+from repro.cps.analysis import analyse_kcfa, analyse_shared, analyse_with_engine
 from repro.corpus.cps_programs import PROGRAMS, id_chain
 
 
@@ -74,6 +74,42 @@ def test_e3_cost_grows_with_k(benchmark):
     print(fmt_table(["analysis", "fixed-point size", "time"], rows))
     # finer contexts can only refine (split) the configuration space
     assert costs[2][0] >= costs[1][0] >= costs[0][0] > 0
+
+
+def test_e3_depgraph_engine_speedup_k1(benchmark):
+    # the global-store worklist with dependency tracking computes the same
+    # widened fixed point as Kleene iteration but re-evaluates only the
+    # configurations whose store reads changed; at k=1 on the id-chain
+    # family this is an order of magnitude, asserted conservatively at 2x
+    program = id_chain(10)
+
+    def run():
+        kleene, t_kleene = timed(lambda: analyse_shared(program, 1))
+        stats = {}
+        depgraph, t_depgraph = timed(
+            lambda: analyse_with_engine(program, "depgraph", k=1, stats=stats)
+        )
+        return kleene, t_kleene, depgraph, t_depgraph, stats
+
+    kleene, t_kleene, depgraph, t_depgraph, stats = run_once(benchmark, run)
+    print()
+    print(
+        fmt_table(
+            ["engine", "time", "states", "evaluations"],
+            [
+                ("kleene (shared store)", f"{t_kleene:.3f}s", kleene.num_states(), "-"),
+                (
+                    "depgraph",
+                    f"{t_depgraph:.3f}s",
+                    depgraph.num_states(),
+                    stats["evaluations"],
+                ),
+            ],
+        )
+    )
+    assert depgraph.flows_to() == kleene.flows_to()
+    assert depgraph.configs() == kleene.configs()
+    assert t_depgraph * 2 <= t_kleene, f"depgraph {t_depgraph:.3f}s vs kleene {t_kleene:.3f}s"
 
 
 def test_e3_precision_monotone_in_k_everywhere(benchmark):

@@ -13,7 +13,7 @@ Works for any language package: pass the step function and the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Hashable
+from typing import Any, Callable
 
 from repro.core.collecting import PerStateStoreCollecting
 from repro.core.fixpoint import FixpointDiverged

@@ -12,15 +12,20 @@ component objects.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable
 
 from repro.core.addresses import Addressable, Binding, KCFA, ZeroCFA
 from repro.core.collecting import PerStateStoreCollecting, SharedStoreCollecting
-from repro.core.driver import run_analysis, run_analysis_worklist
+from repro.core.driver import (
+    prepare_engine_store,
+    run_analysis,
+    run_analysis_worklist,
+    run_engine_analysis,
+)
 from repro.core.gc import MonadicStoreCollector
 from repro.core.monads import StorePassing
-from repro.core.store import BasicStore, CountingStore, StoreLike
+from repro.core.store import BasicStore, CountingStore, StoreLike, unwrap_store
 from repro.cesk.machine import (
     ArgF,
     Clo,
@@ -34,7 +39,7 @@ from repro.cesk.machine import (
     inject,
 )
 from repro.cesk.semantics import CESKInterface, is_final, mnext_cesk
-from repro.lam.syntax import Expr, Lam
+from repro.lam.syntax import Expr
 from repro.util.pcollections import PMap
 
 
@@ -136,20 +141,27 @@ class CESKAnalysis:
     collecting: Any
     shared: bool
     label: str = ""
+    engine: str | None = None
+    last_stats: dict = field(default_factory=dict)
 
     def step(self) -> Callable[[PState], Any]:
         return lambda pstate: mnext_cesk(self.interface, pstate)
 
     def run(self, expr: Expr, worklist: bool = True, max_steps: int = 1_000_000):
         initial = inject(expr)
-        if worklist and not self.shared:
+        if self.engine is not None:
+            fp = run_engine_analysis(self, initial, max_steps=max_steps)
+        elif worklist and not self.shared:
             fp = run_analysis_worklist(
                 self.collecting, self.step(), initial, max_states=max_steps
             )
         else:
             fp = run_analysis(self.collecting, self.step(), initial, max_steps=max_steps)
         return CESKAnalysisResult(
-            fp=fp, shared=self.shared, store_like=self.interface.store_like, label=self.label
+            fp=fp,
+            shared=self.shared,
+            store_like=unwrap_store(self.interface.store_like),
+            label=self.label,
         )
 
 
@@ -241,9 +253,13 @@ def analyse_cesk(
     shared: bool = False,
     gc: bool = False,
     label: str = "",
+    engine: str | None = None,
 ) -> CESKAnalysis:
     """Assemble a CESK analysis from the shared degrees of freedom."""
     store = store_like or BasicStore()
+    if engine is not None:
+        store = prepare_engine_store(engine, store, gc)
+        shared = True
     interface = AbstractCESKInterface(addressing, store)
     collector = (
         MonadicStoreCollector(interface.monad, store, CESKTouching()) if gc else None
@@ -252,7 +268,9 @@ def analyse_cesk(
         collecting: Any = _SeededShared(interface, addressing.tau0(), collector)
     else:
         collecting = _SeededPerState(interface, addressing.tau0(), collector)
-    return CESKAnalysis(interface=interface, collecting=collecting, shared=shared, label=label)
+    return CESKAnalysis(
+        interface=interface, collecting=collecting, shared=shared, label=label, engine=engine
+    )
 
 
 def analyse_cesk_kcfa(expr: Expr, k: int = 1, gc: bool = False) -> CESKAnalysisResult:
@@ -280,3 +298,14 @@ def analyse_cesk_counting(expr: Expr, k: int = 1, shared: bool = False) -> CESKA
     return analyse_cesk(
         KCFA(k), store_like=CountingStore(), shared=shared, label=f"cesk-{k}cfa-count"
     ).run(expr, worklist=not shared)
+
+
+def analyse_cesk_engine(
+    expr: Expr, engine: str, k: int = 1, stats: dict | None = None
+) -> CESKAnalysisResult:
+    """Global-store k-CFA for direct-style programs under a named engine."""
+    analysis = analyse_cesk(KCFA(k), engine=engine, label=f"cesk-{k}cfa-{engine}")
+    result = analysis.run(expr)
+    if stats is not None:
+        stats.update(analysis.last_stats)
+    return result

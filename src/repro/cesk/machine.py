@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Hashable
 
-from repro.lam.syntax import App, Expr, Lam, Let, Var
+from repro.lam.syntax import App, Expr, Lam
 from repro.util.pcollections import PMap, pmap
 
 _FREE_VARS_CACHE: dict = {}

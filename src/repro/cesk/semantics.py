@@ -21,7 +21,6 @@ from repro.cesk.machine import (
     Frame,
     FunF,
     HaltF,
-    KontTag,
     LetF,
     PState,
     SiteContext,

@@ -5,10 +5,17 @@
     python -m repro run     PROGRAM.cps  --lang cps
     python -m repro analyze PROGRAM.lam  --lang lam --k 1 --gc
     python -m repro analyze PROGRAM.fj   --lang fj  --k 0 --check-casts
+    python -m repro analyze PROGRAM.cps  --engine depgraph
 
 ``analyze`` prints the reached-state count, the flows-to (or class-flow)
 table and, where requested, counting/cast diagnostics.  The language
 defaults from the file extension (``.cps``, ``.lam``, ``.fj``).
+
+``--engine`` selects the fixed-point strategy over the global-store
+domain: ``kleene`` (whole-domain rounds), ``worklist`` (frontier-driven,
+dependency-blind) or ``depgraph`` (frontier-driven, re-evaluating only
+configurations whose store dependencies changed).  All three compute
+identical results; ``depgraph`` is the fast one.
 """
 
 from __future__ import annotations
@@ -71,9 +78,18 @@ def _flows_table(flows: dict) -> str:
     return fmt_table(["variable", "count", "reaching values"], rows)
 
 
+def _assemble(thunk):
+    """Turn invalid flag combinations (library ``ValueError``s) into exits."""
+    try:
+        return thunk()
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     lang = detect_language(args.program, args.lang)
     source = read_source(args.program)
+    engine = args.engine
 
     if lang == "cps":
         from repro.core.store import CountingStore
@@ -82,12 +98,17 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         from repro.cps.parser import parse_program
 
         program = parse_program(source)
-        addressing = ZeroCFA() if args.k == 0 and not args.shared else KCFA(args.k)
-        analysis = analyse(
-            addressing,
-            store_like=CountingStore() if args.counting else None,
-            shared=args.shared,
-            gc=args.gc,
+        addressing = (
+            ZeroCFA() if args.k == 0 and not args.shared and engine is None else KCFA(args.k)
+        )
+        analysis = _assemble(
+            lambda: analyse(
+                addressing,
+                store_like=CountingStore() if args.counting else None,
+                shared=args.shared,
+                gc=args.gc,
+                engine=engine,
+            )
         )
         result, seconds = timed(lambda: analysis.run(program, worklist=not args.shared))
         flows = result.flows_to()
@@ -98,11 +119,14 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         from repro.lam.parser import parse_expr
 
         expr = parse_expr(source)
-        analysis = analyse_cesk(
-            KCFA(args.k),
-            store_like=CountingStore() if args.counting else None,
-            shared=args.shared,
-            gc=args.gc,
+        analysis = _assemble(
+            lambda: analyse_cesk(
+                KCFA(args.k),
+                store_like=CountingStore() if args.counting else None,
+                shared=args.shared,
+                gc=args.gc,
+                engine=engine,
+            )
         )
         result, seconds = timed(lambda: analysis.run(expr, worklist=not args.shared))
         flows = result.flows_to()
@@ -118,12 +142,15 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         check = typecheck_program(program)
         for warning in check.warnings:
             print(f"warning: {warning}", file=sys.stderr)
-        analysis = analyse_fj(
-            program,
-            KCFA(args.k),
-            store_like=CountingStore() if args.counting else None,
-            shared=args.shared,
-            gc=args.gc,
+        analysis = _assemble(
+            lambda: analyse_fj(
+                program,
+                KCFA(args.k),
+                store_like=CountingStore() if args.counting else None,
+                shared=args.shared,
+                gc=args.gc,
+                engine=engine,
+            )
         )
         result, seconds = timed(lambda: analysis.run(program, worklist=not args.shared))
         flows = result.class_flows()
@@ -143,6 +170,12 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         f"states: {result.num_states()}  store: {result.store_size()}  "
         f"mean flow: {summary['mean_flow']}  time: {seconds:.3f}s"
     )
+    if engine is not None and analysis.last_stats:
+        stats = analysis.last_stats
+        print(
+            f"engine: {engine}  evaluations: {stats.get('evaluations', '-')}  "
+            f"retriggers: {stats.get('retriggers', '-')}"
+        )
     return 0
 
 
@@ -164,6 +197,14 @@ def build_parser() -> argparse.ArgumentParser:
     an_p.add_argument("program", help="source file, or - for stdin")
     an_p.add_argument("--lang", choices=("cps", "lam", "fj"))
     an_p.add_argument("--k", type=int, default=1, help="k-CFA context depth")
+    an_p.add_argument(
+        "--engine",
+        choices=("kleene", "worklist", "depgraph"),
+        default=None,
+        help="fixed-point strategy over the global store "
+        "(kleene = whole-domain rounds, worklist = dependency-blind frontier, "
+        "depgraph = dependency-tracked re-evaluation)",
+    )
     an_p.add_argument("--shared", action="store_true", help="single-threaded store")
     an_p.add_argument("--gc", action="store_true", help="abstract garbage collection")
     an_p.add_argument("--counting", action="store_true", help="counting store")

@@ -24,10 +24,16 @@ from repro.core.lattice import (
     join_with,
 )
 from repro.core.monads import ListMonad, StateT, StorePassing
-from repro.core.fixpoint import Collecting, explore_fp, kleene_iterate
+from repro.core.fixpoint import (
+    ENGINES,
+    Collecting,
+    explore_fp,
+    global_store_explore,
+    kleene_iterate,
+)
 from repro.core.addresses import Addressable, ConcreteAddressing, KCFA, ZeroCFA
-from repro.core.store import BasicStore, CountingStore, StoreLike
-from repro.core.driver import run_analysis
+from repro.core.store import BasicStore, CountingStore, RecordingStore, StoreLike
+from repro.core.driver import run_analysis, run_with_engine
 
 __all__ = [
     "AbsNat",
@@ -36,19 +42,23 @@ __all__ = [
     "Collecting",
     "ConcreteAddressing",
     "CountingStore",
+    "ENGINES",
     "KCFA",
     "Lattice",
     "ListMonad",
     "MapLattice",
     "PairLattice",
     "PowersetLattice",
+    "RecordingStore",
     "StateT",
     "StoreLike",
     "StorePassing",
     "UnitLattice",
     "ZeroCFA",
     "explore_fp",
+    "global_store_explore",
     "join_with",
     "kleene_iterate",
     "run_analysis",
+    "run_with_engine",
 ]

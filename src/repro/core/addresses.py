@@ -157,10 +157,10 @@ class LContext(Addressable):
     window that k-CFA would burn on repeated sites.
     """
 
-    def __init__(self, l: int):
-        if l < 0:
-            raise ValueError("l must be non-negative")
-        self.l = l
+    def __init__(self, depth: int):
+        if depth < 0:
+            raise ValueError("the context depth must be non-negative")
+        self.depth = depth
 
     def tau0(self) -> tuple:
         return ()
@@ -174,10 +174,10 @@ class LContext(Addressable):
             trimmed = context[context.index(key) :]
         else:
             trimmed = (key,) + context
-        return trimmed[: self.l]
+        return trimmed[: self.depth]
 
     def __repr__(self) -> str:
-        return f"LContext(l={self.l})"
+        return f"LContext(depth={self.depth})"
 
 
 class BoundedNat(Addressable):

@@ -20,8 +20,16 @@ import time as _time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.core.collecting import PerStateStoreCollecting
-from repro.core.fixpoint import Collecting, explore_fp, worklist_explore
+from repro.core.collecting import PerStateStoreCollecting, SharedStoreCollecting
+from repro.core.fixpoint import (
+    ENGINES,
+    Collecting,
+    check_global_store_compat,
+    explore_fp,
+    global_store_explore,
+    worklist_explore,
+)
+from repro.core.store import ACounter, RecordingStore, StoreLike
 
 
 def run_analysis(
@@ -47,6 +55,96 @@ def run_analysis_worklist(
     )
 
 
+def prepare_engine_store(engine: str, store_like: StoreLike, gc: bool = False) -> StoreLike:
+    """Validate an engine selection and ready its store (all three languages).
+
+    Abstract GC filters the store relative to a single configuration,
+    which is unsound against a global store shared by every
+    configuration, so only the kleene engine (which keeps the paper's
+    per-round ``alpha . applyStep' . gamma`` structure) may combine with
+    it.  Counting stores are rejected for the same family of reasons:
+    abstract counts are only sound when every abstract transition
+    re-bumps them, and the worklist engines exist precisely to *skip*
+    re-evaluations, so a loop allocating through one configuration would
+    keep a count of ONE and fabricate must-alias facts.
+
+    For the ``depgraph`` engine the store is wrapped in a
+    :class:`~repro.core.store.RecordingStore` so the fixed-point loop
+    can observe each configuration's read/write footprint.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; choose one of {ENGINES}")
+    if engine != "kleene":
+        check_global_store_compat(gc=gc, counting=isinstance(store_like, ACounter))
+    if engine == "depgraph":
+        return RecordingStore(store_like)
+    return store_like
+
+
+def run_engine_analysis(analysis: Any, initial_state: Any, max_steps: int = 1_000_000) -> tuple:
+    """Run an assembled analysis under its configured engine.
+
+    Duck-typed over the three language analysis objects: each carries
+    ``engine``, ``collecting``, ``step()`` and a ``last_stats`` dict that
+    is refreshed with the run's evaluation counts.
+    """
+    analysis.last_stats = {}
+    return run_with_engine(
+        analysis.engine,
+        analysis.collecting,
+        analysis.step(),
+        initial_state,
+        max_steps=max_steps,
+        stats=analysis.last_stats,
+    )
+
+
+def run_with_engine(
+    engine: str,
+    collecting: SharedStoreCollecting,
+    step: Callable[[Any], Any],
+    initial_state: Any,
+    max_steps: int = 1_000_000,
+    stats: dict | None = None,
+) -> tuple:
+    """Compute the store-widened collecting semantics under a named engine.
+
+    The three :data:`~repro.core.fixpoint.ENGINES` are interchangeable
+    evaluation strategies over the same global-store domain:
+
+    * ``kleene``    -- whole-domain Kleene rounds (``exploreFP``);
+    * ``worklist``  -- frontier worklist, dependency-blind re-evaluation;
+    * ``depgraph``  -- frontier worklist, dependency-tracked re-evaluation.
+
+    All return the fixed point in the shared shape ``(configs, store)``.
+    ``stats`` is filled with ``evaluations`` (single-configuration step
+    applications, the unit of work all three engines share) plus the
+    worklist engines' retrigger/dependency counters.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; choose one of {ENGINES}")
+    if engine == "kleene":
+        evaluations = 0
+
+        def counted_step(state: Any) -> Any:
+            nonlocal evaluations
+            evaluations += 1
+            return step(state)
+
+        fp = explore_fp(collecting, counted_step, initial_state, max_steps=max_steps)
+        if stats is not None:
+            stats.update(evaluations=evaluations, configurations=len(fp[0]))
+        return fp
+    return global_store_explore(
+        collecting,
+        step,
+        initial_state,
+        track_deps=(engine == "depgraph"),
+        max_evals=max_steps,
+        stats=stats,
+    )
+
+
 @dataclass
 class AnalysisRun:
     """A timed analysis outcome, used by the benchmark harness and reports."""
@@ -63,14 +161,20 @@ def timed_analysis(
     initial_state: Any,
     label: str = "",
     worklist: bool = False,
+    engine: str | None = None,
 ) -> AnalysisRun:
     """Run an analysis under a wall-clock timer (benchmark harness helper)."""
     start = _time.perf_counter()
-    if worklist:
+    metrics: dict = {}
+    if engine is not None:
+        if not isinstance(collecting, SharedStoreCollecting):
+            raise TypeError("engine selection needs a shared-store domain")
+        result = run_with_engine(engine, collecting, step, initial_state, stats=metrics)
+    elif worklist:
         if not isinstance(collecting, PerStateStoreCollecting):
             raise TypeError("worklist evaluation needs a per-state-store domain")
         result = run_analysis_worklist(collecting, step, initial_state)
     else:
         result = run_analysis(collecting, step, initial_state)
     elapsed = _time.perf_counter() - start
-    return AnalysisRun(result=result, seconds=elapsed, label=label)
+    return AnalysisRun(result=result, seconds=elapsed, label=label, metrics=metrics)

@@ -17,14 +17,50 @@ interface and the monad.  This module provides
 * :func:`reachable` / :func:`worklist_explore` -- a frontier-driven
   evaluation strategy that computes the *same* fixed point as Kleene
   iteration for the set-of-configurations domains, but touches each
-  configuration once (experiment E9 checks they agree).
+  configuration once (experiment E9 checks they agree);
+* :func:`global_store_explore` -- the global-store worklist engine: the
+  store-widened domain ``P(PSigma x guts) x Store`` evaluated by a
+  worklist instead of whole-domain Kleene rounds, optionally with
+  per-configuration dependency tracking so that a store change only
+  re-evaluates the configurations that actually read a changed address.
+
+The three interchangeable strategies over the widened domain are named
+by :data:`ENGINES`: ``kleene`` (whole-domain rounds), ``worklist``
+(frontier-driven, dependency-blind re-evaluation) and ``depgraph``
+(frontier-driven, dependency-tracked re-evaluation).  All three compute
+the same least fixed point -- chaotic iteration of a monotone functional
+is order-insensitive -- which the engine-equivalence test suite checks
+across all three languages.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Any, Callable, Hashable, Iterable
 
 from repro.core.lattice import Lattice
+from repro.core.store import ACounter, RecordingStore, unwrap_store
+
+#: The interchangeable fixed-point strategies over the global-store domain.
+ENGINES = ("kleene", "worklist", "depgraph")
+
+
+def check_global_store_compat(gc: bool, counting: bool) -> None:
+    """The single source of the global-store engines' compatibility rules.
+
+    Raised both at assembly time (driver) and by the raw engine, so the
+    two layers cannot drift.
+    """
+    if gc:
+        raise ValueError(
+            "abstract GC filters the store per configuration; only the kleene "
+            "engine supports it"
+        )
+    if counting:
+        raise ValueError(
+            "abstract counting needs every transition re-evaluated to stay "
+            "sound; only the kleene engine supports counting stores"
+        )
 
 
 class FixpointDiverged(Exception):
@@ -171,3 +207,130 @@ def worklist_explore(
     """
     seeds = collecting.inject(initial_state)
     return reachable(seeds, lambda config: successors_of(step, config), max_states)
+
+
+# ---------------------------------------------------------------------------
+# The global-store worklist engine (dependency-tracked re-evaluation)
+# ---------------------------------------------------------------------------
+
+
+def global_store_explore(
+    collecting: Any,
+    step: Callable[[Any], Any],
+    initial_state: Any,
+    track_deps: bool = True,
+    max_evals: int = 1_000_000,
+    stats: dict | None = None,
+) -> tuple:
+    """Worklist evaluation of the store-widened domain ``P(configs) x Store``.
+
+    ``collecting`` must be a shared-store domain (a
+    :class:`~repro.core.collecting.SharedStoreCollecting` or subclass):
+    its ``inject`` seeds the configuration set and the global store, and
+    its ``inner`` per-state domain runs one configuration against a
+    given store.  The engine then maintains
+
+    * one *global store*, the join of every store any evaluation produced
+      (the standard AAM global-store widening);
+    * a *seen* set of configurations and a worklist of configurations
+      still to (re-)evaluate;
+    * with ``track_deps``, a dependency map ``addr -> readers`` recording
+      which configurations fetched which addresses during their last
+      evaluation (via a :class:`~repro.core.store.RecordingStore`).
+
+    When an evaluation grows the global store, Kleene iteration would
+    re-step *every* configuration next round.  The blind worklist
+    (``track_deps=False``) re-enqueues every seen configuration, but only
+    when the store actually grew; the dependency-tracked engine
+    re-enqueues only the configurations that read an address whose value
+    set grew.  All three strategies compute the same least fixed point:
+    the functional is monotone, and chaotic iteration re-evaluating every
+    equation whose inputs changed converges to the least solution
+    regardless of order.
+
+    Returns the fixed point in the shared-domain shape
+    ``(frozenset(configs), store)``.  ``stats``, when supplied, is filled
+    with evaluation counts for benchmarking.
+    """
+    inner = collecting.inner
+    store_like = inner.store_like
+    check_global_store_compat(
+        gc=getattr(inner, "collector", None) is not None,
+        counting=isinstance(unwrap_store(store_like), ACounter),
+    )
+    store_lattice = store_like.lattice()
+    recorder = store_like if isinstance(store_like, RecordingStore) else None
+    if track_deps and recorder is None:
+        raise TypeError(
+            "dependency tracking needs the collecting domain's store to be a RecordingStore"
+        )
+    value_lattice = store_like.value_lattice
+
+    seed_configs, seed_store = collecting.inject(initial_state)
+    global_store = seed_store
+    seen: set = set(seed_configs)
+    worklist: deque = deque(seen)
+    queued: set = set(seen)
+    deps: dict = {}
+    evals = 0
+    retriggers = 0
+
+    while worklist:
+        config = worklist.popleft()
+        queued.discard(config)
+        evals += 1
+        if evals > max_evals:
+            raise FixpointDiverged(
+                f"no fixed point within {max_evals} configuration evaluations"
+            )
+
+        if track_deps:
+            recorder.begin_log()
+        results = inner.run_config(step, (config, global_store))
+        if track_deps:
+            reads, writes = recorder.end_log()
+            for addr in reads:
+                deps.setdefault(addr, set()).add(config)
+
+        new_store = global_store
+        for _pair, result_store in results:
+            new_store = store_lattice.join(new_store, result_store)
+        for pair, _result_store in results:
+            if pair not in seen:
+                seen.add(pair)
+                queued.add(pair)
+                worklist.append(pair)
+
+        if new_store is global_store:
+            continue
+        if track_deps:
+            # re-enqueue only the readers of addresses whose value set grew;
+            # the comparison goes through ``fetch`` because that is all a
+            # re-evaluation can observe
+            for addr in writes:
+                old_d = store_like.fetch(global_store, addr)
+                new_d = store_like.fetch(new_store, addr)
+                if value_lattice.leq(new_d, old_d):
+                    continue
+                for reader in deps.get(addr, ()):
+                    if reader not in queued:
+                        queued.add(reader)
+                        worklist.append(reader)
+                        retriggers += 1
+        elif not store_lattice.leq(new_store, global_store):
+            # dependency-blind: any growth re-enqueues every configuration
+            for reader in seen:
+                if reader not in queued:
+                    queued.add(reader)
+                    worklist.append(reader)
+                    retriggers += 1
+        global_store = new_store
+
+    if stats is not None:
+        stats.update(
+            evaluations=evals,
+            retriggers=retriggers,
+            configurations=len(seen),
+            tracked_addresses=len(deps),
+        )
+    return (frozenset(seen), global_store)

@@ -232,7 +232,24 @@ class MapLattice(Lattice):
         return True
 
     def join(self, x: PMap, y: PMap) -> PMap:
-        return x.update_with(self.value_lattice.join, y)
+        # Copy-on-grow: return ``x`` itself when ``y`` adds nothing, so
+        # callers (notably the global-store engines) can use object
+        # identity as a free did-anything-change test.
+        value = self.value_lattice
+        merged: dict | None = None
+        for key, vy in y.items():
+            if key in x:
+                vx = x[key]
+                if value.leq(vy, vx):
+                    continue
+                if merged is None:
+                    merged = x.to_dict()
+                merged[key] = value.join(vx, vy)
+            else:
+                if merged is None:
+                    merged = x.to_dict()
+                merged[key] = vy
+        return x if merged is None else PMap(merged)
 
     def meet(self, x: PMap, y: PMap) -> PMap:
         value = self.value_lattice

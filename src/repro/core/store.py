@@ -24,6 +24,14 @@ Two instances:
 
 Because the store is parameterized over addresses and value sets, these
 instances are reused untouched by all three language definitions.
+
+:class:`RecordingStore` is a transparent decorator over any other
+instance: it can log which addresses a bracketed computation fetched and
+bound.  The dependency-tracked fixed-point engine
+(:func:`repro.core.fixpoint.global_store_explore`) brackets each
+configuration's evaluation with :meth:`RecordingStore.begin_log` /
+:meth:`RecordingStore.end_log` to learn the configuration's store
+footprint without touching the semantics.
 """
 
 from __future__ import annotations
@@ -204,3 +212,76 @@ class CountingStore(StoreLike, ACounter):
     def singleton_addresses(self, store: PMap) -> frozenset:
         """Addresses whose abstract count is exactly one (must-alias facts)."""
         return frozenset(a for a in store if store[a][1] is AbsNat.ONE)
+
+
+class RecordingStore(StoreLike):
+    """A delegating store that can log the addresses a computation touches.
+
+    Store *elements* are untouched -- the wrapper delegates every
+    operation to ``inner`` -- so a store built through a recording
+    wrapper is interchangeable with one built directly.  Between
+    :meth:`begin_log` and :meth:`end_log`, every ``fetch`` records its
+    address as a read and every ``bind``/``replace``/``update`` records
+    its address as a write; the dependency-tracked engine uses the two
+    sets to decide which configurations a store change can affect.
+    """
+
+    def __init__(self, inner: StoreLike):
+        super().__init__(inner.value_lattice)
+        self.inner = inner
+        self.logging = False
+        self.reads: set = set()
+        self.writes: set = set()
+
+    def begin_log(self) -> None:
+        """Start a fresh read/write log for one bracketed evaluation."""
+        self.logging = True
+        self.reads = set()
+        self.writes = set()
+
+    def end_log(self) -> tuple[frozenset, frozenset]:
+        """Stop logging and return the ``(reads, writes)`` address sets."""
+        self.logging = False
+        return frozenset(self.reads), frozenset(self.writes)
+
+    def empty(self) -> Any:
+        return self.inner.empty()
+
+    def bind(self, store: Any, addr: Hashable, d: Any) -> Any:
+        if self.logging:
+            self.writes.add(addr)
+        return self.inner.bind(store, addr, d)
+
+    def replace(self, store: Any, addr: Hashable, d: Any) -> Any:
+        if self.logging:
+            self.writes.add(addr)
+        return self.inner.replace(store, addr, d)
+
+    def update(self, store: Any, addr: Hashable, d: Any) -> Any:
+        if self.logging:
+            # a cardinality-aware update consults the count at ``addr``
+            # before writing, so it is both a read and a write
+            self.reads.add(addr)
+            self.writes.add(addr)
+        return self.inner.update(store, addr, d)
+
+    def fetch(self, store: Any, addr: Hashable) -> Any:
+        if self.logging:
+            self.reads.add(addr)
+        return self.inner.fetch(store, addr)
+
+    def filter_store(self, store: Any, keep: Callable[[Hashable], bool]) -> Any:
+        return self.inner.filter_store(store, keep)
+
+    def addresses(self, store: Any) -> Iterable[Hashable]:
+        return self.inner.addresses(store)
+
+    def lattice(self) -> Lattice:
+        return self.inner.lattice()
+
+
+def unwrap_store(store_like: StoreLike) -> StoreLike:
+    """Strip any :class:`RecordingStore` decoration (for result inspection)."""
+    while isinstance(store_like, RecordingStore):
+        store_like = store_like.inner
+    return store_like

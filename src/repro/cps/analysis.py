@@ -22,16 +22,21 @@ The convenience constructors at the bottom reproduce section 8's family:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable
 
 from repro.core.addresses import Addressable, Binding, ConcreteAddressing, KCFA, ZeroCFA
 from repro.core.collecting import PerStateStoreCollecting, SharedStoreCollecting
-from repro.core.driver import run_analysis, run_analysis_worklist
+from repro.core.driver import (
+    prepare_engine_store,
+    run_analysis,
+    run_analysis_worklist,
+    run_engine_analysis,
+)
 from repro.core.gc import MonadicStoreCollector
 from repro.core.lattice import AbsNat
 from repro.core.monads import StorePassing
-from repro.core.store import BasicStore, CountingStore, StoreLike
+from repro.core.store import BasicStore, CountingStore, StoreLike, unwrap_store
 from repro.cps.semantics import Clo, CPSInterface, PState, free_vars_cache, inject, mnext
 from repro.cps.syntax import AExp, CExp, Lam, Ref, Var
 from repro.util.pcollections import PMap
@@ -126,13 +131,17 @@ class CPSAnalysis:
     collecting: Any
     shared: bool
     label: str = ""
+    engine: str | None = None
+    last_stats: dict = field(default_factory=dict)
 
     def step(self) -> Callable[[PState], Any]:
         return lambda pstate: mnext(self.interface, pstate)
 
     def run(self, program: CExp, worklist: bool = False, max_steps: int = 1_000_000):
         initial = inject(program)
-        if worklist:
+        if self.engine is not None:
+            fp = run_engine_analysis(self, initial, max_steps=max_steps)
+        elif worklist:
             if self.shared:
                 raise ValueError("worklist evaluation applies to per-state-store domains")
             fp = run_analysis_worklist(
@@ -141,7 +150,10 @@ class CPSAnalysis:
         else:
             fp = run_analysis(self.collecting, self.step(), initial, max_steps=max_steps)
         return CPSAnalysisResult(
-            fp=fp, shared=self.shared, store_like=self.interface.store_like, label=self.label
+            fp=fp,
+            shared=self.shared,
+            store_like=unwrap_store(self.interface.store_like),
+            label=self.label,
         )
 
 
@@ -247,15 +259,21 @@ def analyse(
     shared: bool = False,
     gc: bool = False,
     label: str = "",
+    engine: str | None = None,
 ) -> CPSAnalysis:
     """Assemble an analysis from the paper's degrees of freedom.
 
     ``addressing`` fixes polyvariance/context (6.1); ``store_like`` fixes
     the store representation and counting (6.2-6.3); ``shared`` selects
     the single-threaded-store widening (6.5); ``gc`` weaves in abstract
-    garbage collection (6.4).
+    garbage collection (6.4); ``engine`` picks a fixed-point strategy
+    over the store-widened domain (one of
+    :data:`~repro.core.fixpoint.ENGINES`), superseding ``shared``.
     """
     store = store_like or BasicStore()
+    if engine is not None:
+        store = prepare_engine_store(engine, store, gc)
+        shared = True
     interface = AbstractCPSInterface(addressing, store)
     collector = (
         MonadicStoreCollector(interface.monad, store, CPSTouching()) if gc else None
@@ -268,7 +286,9 @@ def analyse(
         collecting = PerStateStoreCollecting(
             interface.monad, store, addressing.tau0(), collector
         )
-    return CPSAnalysis(interface=interface, collecting=collecting, shared=shared, label=label)
+    return CPSAnalysis(
+        interface=interface, collecting=collecting, shared=shared, label=label, engine=engine
+    )
 
 
 def analyse_concrete_collecting(program: CExp, max_steps: int = 1_000_000) -> CPSAnalysisResult:
@@ -320,3 +340,30 @@ def analyse_with_gc(program: CExp, k: int = 1, shared: bool = False) -> CPSAnaly
     """6.4: the same analysis with abstract garbage collection woven in."""
     analysis = analyse(KCFA(k), shared=shared, gc=True, label=f"{k}cfa-gc")
     return analysis.run(program, worklist=not shared)
+
+
+def analyse_with_engine(
+    program: CExp,
+    engine: str,
+    k: int = 1,
+    counting: bool = False,
+    stats: dict | None = None,
+) -> CPSAnalysisResult:
+    """k-CFA over the global store under a named fixed-point engine.
+
+    The three engines (:data:`~repro.core.fixpoint.ENGINES`) compute the
+    identical fixed point of the store-widened domain; they differ only
+    in how much of the reached set each store change re-evaluates.
+    ``counting`` composes with the ``kleene`` engine only (the worklist
+    engines skip the re-evaluations abstract counting relies on).
+    """
+    analysis = analyse(
+        KCFA(k),
+        store_like=CountingStore() if counting else None,
+        engine=engine,
+        label=f"{k}cfa-{engine}",
+    )
+    result = analysis.run(program)
+    if stats is not None:
+        stats.update(analysis.last_stats)
+    return result

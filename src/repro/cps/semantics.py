@@ -31,7 +31,7 @@ from dataclasses import dataclass
 from typing import Any, Hashable
 
 from repro.core.monads import Monad, MonadPlus, map_m, run_do, sequence_
-from repro.cps.syntax import AExp, Call, CExp, Exit, Lam, Ref, Var
+from repro.cps.syntax import AExp, Call, CExp, Exit, Lam, Var
 from repro.util.pcollections import PMap, pmap
 
 

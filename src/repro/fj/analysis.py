@@ -8,15 +8,20 @@ relation is imported from :mod:`repro.core` unchanged.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable
 
 from repro.core.addresses import Addressable, Binding, KCFA, ZeroCFA
 from repro.core.collecting import PerStateStoreCollecting, SharedStoreCollecting
-from repro.core.driver import run_analysis, run_analysis_worklist
+from repro.core.driver import (
+    prepare_engine_store,
+    run_analysis,
+    run_analysis_worklist,
+    run_engine_analysis,
+)
 from repro.core.gc import MonadicStoreCollector
 from repro.core.monads import StorePassing
-from repro.core.store import BasicStore, CountingStore, StoreLike
+from repro.core.store import BasicStore, CountingStore, StoreLike, unwrap_store
 from repro.fj.class_table import ClassTable
 from repro.fj.machine import (
     CastF,
@@ -34,7 +39,7 @@ from repro.fj.machine import (
     inject_fj,
 )
 from repro.fj.semantics import FJInterface, is_final_fj, mnext_fj
-from repro.fj.syntax import Cast, Expr, Program, subterms
+from repro.fj.syntax import Expr, Program
 from repro.util.pcollections import PMap
 
 
@@ -159,13 +164,17 @@ class FJAnalysis:
     collecting: Any
     shared: bool
     label: str = ""
+    engine: str | None = None
+    last_stats: dict = field(default_factory=dict)
 
     def step(self) -> Callable[[PState], Any]:
         return lambda pstate: mnext_fj(self.interface, pstate)
 
     def run(self, program: Program, worklist: bool = True, max_steps: int = 1_000_000):
         initial = inject_fj(program.main)
-        if worklist and not self.shared:
+        if self.engine is not None:
+            fp = run_engine_analysis(self, initial, max_steps=max_steps)
+        elif worklist and not self.shared:
             fp = run_analysis_worklist(
                 self.collecting, self.step(), initial, max_states=max_steps
             )
@@ -174,7 +183,7 @@ class FJAnalysis:
         return FJAnalysisResult(
             fp=fp,
             shared=self.shared,
-            store_like=self.interface.store_like,
+            store_like=unwrap_store(self.interface.store_like),
             program=program,
             label=self.label,
         )
@@ -265,10 +274,14 @@ def analyse_fj(
     shared: bool = False,
     gc: bool = False,
     label: str = "",
+    engine: str | None = None,
 ) -> FJAnalysis:
     """Assemble an FJ analysis from the shared degrees of freedom."""
     table = ClassTable.of(program)
     store = store_like or BasicStore()
+    if engine is not None:
+        store = prepare_engine_store(engine, store, gc)
+        shared = True
     interface = AbstractFJInterface(table, addressing, store)
     collector = (
         MonadicStoreCollector(interface.monad, store, FJTouching()) if gc else None
@@ -277,7 +290,9 @@ def analyse_fj(
         collecting: Any = _SeededShared(interface, addressing.tau0(), collector)
     else:
         collecting = _SeededPerState(interface, addressing.tau0(), collector)
-    return FJAnalysis(interface=interface, collecting=collecting, shared=shared, label=label)
+    return FJAnalysis(
+        interface=interface, collecting=collecting, shared=shared, label=label, engine=engine
+    )
 
 
 def analyse_fj_kcfa(program: Program, k: int = 1, gc: bool = False) -> FJAnalysisResult:
@@ -307,3 +322,14 @@ def analyse_fj_counting(program: Program, k: int = 1, shared: bool = False) -> F
 def analyse_fj_gc(program: Program, k: int = 1) -> FJAnalysisResult:
     """k-CFA with abstract garbage collection."""
     return analyse_fj(program, KCFA(k), gc=True, label=f"fj-{k}cfa-gc").run(program)
+
+
+def analyse_fj_engine(
+    program: Program, engine: str, k: int = 1, stats: dict | None = None
+) -> FJAnalysisResult:
+    """Global-store class-flow analysis under a named fixed-point engine."""
+    analysis = analyse_fj(program, KCFA(k), engine=engine, label=f"fj-{k}cfa-{engine}")
+    result = analysis.run(program)
+    if stats is not None:
+        stats.update(analysis.last_stats)
+    return result

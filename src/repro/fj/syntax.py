@@ -12,7 +12,7 @@ synthesize it rather than parse boilerplate).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 OBJECT = "Object"

@@ -21,7 +21,6 @@ from repro.fj.syntax import (
     Invoke,
     MethodDef,
     New,
-    OBJECT,
     Program,
     VarE,
 )

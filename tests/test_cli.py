@@ -110,6 +110,43 @@ class TestAnalyze:
         assert "all casts proved safe" in capsys.readouterr().out
 
 
+class TestEngineFlag:
+    @pytest.mark.parametrize("engine", ["kleene", "worklist", "depgraph"])
+    def test_engine_on_every_language(self, engine, cps_file, lam_file, fj_file, capsys):
+        for path in (cps_file, lam_file, fj_file):
+            assert main(["analyze", path, "--engine", engine]) == 0
+            assert "states:" in capsys.readouterr().out
+
+    def test_depgraph_reports_engine_stats(self, cps_file, capsys):
+        assert main(["analyze", cps_file, "--engine", "depgraph"]) == 0
+        out = capsys.readouterr().out
+        assert "engine: depgraph" in out and "evaluations:" in out
+
+    def test_engines_print_identical_flow_tables(self, lam_file, capsys):
+        tables = {}
+        for engine in ("kleene", "worklist", "depgraph"):
+            assert main(["analyze", lam_file, "--engine", engine]) == 0
+            out = capsys.readouterr().out
+            tables[engine] = out[: out.index("states:")]
+        assert tables["kleene"] == tables["worklist"] == tables["depgraph"]
+
+    def test_gc_with_global_store_engine_rejected(self, cps_file):
+        with pytest.raises(SystemExit):
+            main(["analyze", cps_file, "--engine", "depgraph", "--gc"])
+
+    def test_counting_with_global_store_engine_rejected(self, cps_file):
+        with pytest.raises(SystemExit):
+            main(["analyze", cps_file, "--engine", "worklist", "--counting"])
+
+    def test_counting_with_kleene_engine_allowed(self, cps_file, capsys):
+        assert main(["analyze", cps_file, "--engine", "kleene", "--counting"]) == 0
+        assert "states:" in capsys.readouterr().out
+
+    def test_unknown_engine_rejected_by_parser(self, cps_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", cps_file, "--engine", "magic"])
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
@@ -118,4 +155,5 @@ class TestParser:
     def test_defaults(self):
         args = build_parser().parse_args(["analyze", "x.cps"])
         assert args.k == 1
+        assert args.engine is None
         assert not args.shared and not args.gc and not args.counting

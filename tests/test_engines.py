@@ -1,0 +1,204 @@
+"""Engine equivalence: kleene / worklist / depgraph agree everywhere.
+
+The three engines are interchangeable fixed-point strategies over the
+store-widened collecting domain (paper 5.2's third degree of freedom,
+pushed further): whole-domain Kleene rounds, a dependency-blind frontier
+worklist, and dependency-tracked re-evaluation.  Chaotic iteration of a
+monotone functional converges to the same least fixed point regardless
+of evaluation order, so all three must agree on the reached
+configurations, the global store's flow tables, and hence every derived
+metric -- across all three languages and context depths.
+"""
+
+import pytest
+
+from repro.cesk.analysis import analyse_cesk, analyse_cesk_engine, analyse_cesk_shared
+from repro.core.fixpoint import ENGINES, global_store_explore
+from repro.core.store import BasicStore, CountingStore, RecordingStore, unwrap_store
+from repro.corpus.cps_programs import PROGRAMS as CPS_PROGRAMS
+from repro.corpus.cps_programs import id_chain
+from repro.corpus.fj_programs import PROGRAMS as FJ_PROGRAMS
+from repro.corpus.lam_programs import PROGRAMS as LAM_PROGRAMS
+from repro.cps.analysis import analyse, analyse_shared, analyse_with_engine
+from repro.fj.analysis import analyse_fj, analyse_fj_engine, analyse_fj_shared
+
+CPS_NAMES = sorted(CPS_PROGRAMS)
+LAM_NAMES = sorted(LAM_PROGRAMS)
+FJ_NAMES = sorted(FJ_PROGRAMS)
+
+
+class TestCPSEngineEquivalence:
+    @pytest.mark.parametrize("name", CPS_NAMES)
+    @pytest.mark.parametrize("k", [0, 1])
+    def test_engines_agree_with_kleene(self, name, k):
+        program = CPS_PROGRAMS[name]
+        reference = analyse_with_engine(program, "kleene", k=k)
+        for engine in ("worklist", "depgraph"):
+            result = analyse_with_engine(program, engine, k=k)
+            assert result.configs() == reference.configs(), engine
+            assert result.num_states() == reference.num_states(), engine
+            assert result.flows_to() == reference.flows_to(), engine
+
+    @pytest.mark.parametrize("name", CPS_NAMES)
+    def test_kleene_engine_is_the_shared_store_analysis(self, name):
+        """The ``kleene`` engine is exactly the paper's 8.2 widened analysis."""
+        program = CPS_PROGRAMS[name]
+        legacy = analyse_shared(program, 1)
+        engine = analyse_with_engine(program, "kleene", k=1)
+        assert engine.fp == legacy.fp
+
+    def test_depgraph_on_generated_family(self):
+        program = id_chain(6)
+        reference = analyse_with_engine(program, "kleene", k=1)
+        stats = {}
+        result = analyse_with_engine(program, "depgraph", k=1, stats=stats)
+        assert result.flows_to() == reference.flows_to()
+        assert stats["evaluations"] >= stats["configurations"] > 0
+
+    def test_counting_store_works_under_kleene_engine(self):
+        """Counting composes with the kleene engine (= the legacy shared path)."""
+        program = CPS_PROGRAMS["mj09"]
+        plain = analyse_with_engine(program, "kleene", k=1)
+        counted = analyse_with_engine(program, "kleene", k=1, counting=True)
+        assert counted.flows_to() == plain.flows_to()
+        assert counted.configs() == plain.configs()
+
+
+class TestCESKEngineEquivalence:
+    @pytest.mark.parametrize("name", LAM_NAMES)
+    @pytest.mark.parametrize("k", [0, 1])
+    def test_engines_agree_with_kleene(self, name, k):
+        expr = LAM_PROGRAMS[name]
+        reference = analyse_cesk_engine(expr, "kleene", k=k)
+        for engine in ("worklist", "depgraph"):
+            result = analyse_cesk_engine(expr, engine, k=k)
+            assert result.configs() == reference.configs(), engine
+            assert result.num_states() == reference.num_states(), engine
+            assert result.flows_to() == reference.flows_to(), engine
+
+    @pytest.mark.parametrize("name", LAM_NAMES)
+    def test_kleene_engine_is_the_shared_store_analysis(self, name):
+        expr = LAM_PROGRAMS[name]
+        legacy = analyse_cesk_shared(expr, 1)
+        engine = analyse_cesk_engine(expr, "kleene", k=1)
+        assert engine.fp == legacy.fp
+
+    def test_final_values_agree(self):
+        expr = LAM_PROGRAMS["mj09"]
+        results = {e: analyse_cesk_engine(expr, e) for e in ENGINES}
+        finals = {e: r.final_values() for e, r in results.items()}
+        assert finals["kleene"] == finals["worklist"] == finals["depgraph"]
+
+
+class TestFJEngineEquivalence:
+    @pytest.mark.parametrize("name", FJ_NAMES)
+    @pytest.mark.parametrize("k", [0, 1])
+    def test_engines_agree_with_kleene(self, name, k):
+        program = FJ_PROGRAMS[name]
+        reference = analyse_fj_engine(program, "kleene", k=k)
+        for engine in ("worklist", "depgraph"):
+            result = analyse_fj_engine(program, engine, k=k)
+            assert result.configs() == reference.configs(), engine
+            assert result.num_states() == reference.num_states(), engine
+            assert result.class_flows() == reference.class_flows(), engine
+
+    @pytest.mark.parametrize("name", FJ_NAMES)
+    def test_kleene_engine_is_the_shared_store_analysis(self, name):
+        program = FJ_PROGRAMS[name]
+        legacy = analyse_fj_shared(program, 1)
+        engine = analyse_fj_engine(program, "kleene", k=1)
+        assert engine.fp == legacy.fp
+
+    def test_final_classes_agree(self):
+        program = FJ_PROGRAMS["animals"]
+        finals = {e: analyse_fj_engine(program, e).final_classes() for e in ENGINES}
+        assert finals["kleene"] == finals["worklist"] == finals["depgraph"]
+
+
+class TestRecordingStore:
+    def test_logs_reads_and_writes_only_while_bracketed(self):
+        store_like = RecordingStore(BasicStore())
+        sigma = store_like.bind(store_like.empty(), "a", frozenset([1]))
+        assert store_like.reads == set() and store_like.writes == set()
+
+        store_like.begin_log()
+        store_like.fetch(sigma, "a")
+        sigma = store_like.bind(sigma, "b", frozenset([2]))
+        reads, writes = store_like.end_log()
+        assert reads == frozenset(["a"])
+        assert writes == frozenset(["b"])
+
+        store_like.fetch(sigma, "b")  # after end_log: not recorded
+        assert store_like.reads == {"a"}
+
+    def test_update_counts_as_read_and_write(self):
+        store_like = RecordingStore(CountingStore())
+        sigma = store_like.bind(store_like.empty(), "a", frozenset([1]))
+        store_like.begin_log()
+        store_like.update(sigma, "a", frozenset([2]))
+        reads, writes = store_like.end_log()
+        assert "a" in reads and "a" in writes
+
+    def test_store_elements_are_interchangeable(self):
+        plain = BasicStore()
+        recording = RecordingStore(BasicStore())
+        s1 = plain.bind(plain.empty(), "x", frozenset([1]))
+        s2 = recording.bind(recording.empty(), "x", frozenset([1]))
+        assert s1 == s2
+        assert unwrap_store(recording).__class__ is BasicStore
+
+
+class TestEngineGuards:
+    def test_unknown_engine_rejected(self):
+        from repro.core.addresses import KCFA
+
+        with pytest.raises(ValueError, match="unknown engine"):
+            analyse(KCFA(1), engine="magic")
+
+    def test_gc_rejected_on_global_store_engines(self):
+        from repro.core.addresses import KCFA
+
+        for engine in ("worklist", "depgraph"):
+            with pytest.raises(ValueError, match="abstract GC"):
+                analyse(KCFA(1), gc=True, engine=engine)
+            with pytest.raises(ValueError, match="abstract GC"):
+                analyse_cesk(KCFA(1), gc=True, engine=engine)
+            with pytest.raises(ValueError, match="abstract GC"):
+                analyse_fj(FJ_PROGRAMS["pair"], KCFA(1), gc=True, engine=engine)
+
+    def test_counting_rejected_on_global_store_engines(self):
+        """A worklist engine skips re-evaluations, so abstract counts would
+        under-approximate (a loop allocating through one configuration
+        would keep a count of ONE and fabricate must-alias facts)."""
+        from repro.core.addresses import KCFA
+        from repro.core.store import CountingStore
+
+        for engine in ("worklist", "depgraph"):
+            with pytest.raises(ValueError, match="counting"):
+                analyse(KCFA(1), store_like=CountingStore(), engine=engine)
+            with pytest.raises(ValueError, match="counting"):
+                analyse_cesk(KCFA(1), store_like=CountingStore(), engine=engine)
+            with pytest.raises(ValueError, match="counting"):
+                analyse_fj(
+                    FJ_PROGRAMS["pair"], KCFA(1), store_like=CountingStore(), engine=engine
+                )
+
+    def test_gc_allowed_on_kleene_engine(self):
+        from repro.core.addresses import KCFA
+
+        analysis = analyse(KCFA(1), gc=True, engine="kleene")
+        result = analysis.run(CPS_PROGRAMS["mj09"])
+        assert result.num_states() > 0
+
+    def test_depgraph_requires_recording_store(self):
+        """Calling the raw engine on an unwrapped domain fails loudly."""
+        from repro.core.addresses import KCFA
+
+        analysis = analyse(KCFA(1), shared=True)  # no engine: plain store
+        with pytest.raises(TypeError, match="RecordingStore"):
+            global_store_explore(
+                analysis.collecting,
+                analysis.step(),
+                CPS_PROGRAMS["mj09"],
+                track_deps=True,
+            )
