@@ -1,0 +1,173 @@
+"""Record the engine-suite benchmark trajectory to ``BENCH_<n>.json``.
+
+Runs every fixed-point engine / store-impl combination over one workload
+per language and writes a machine-readable baseline, so each PR leaves a
+``BENCH_*.json`` behind and regressions are visible as a series rather
+than one-off pytest-benchmark artifacts::
+
+    PYTHONPATH=src python benchmarks/record.py            # writes BENCH_2.json
+    PYTHONPATH=src python benchmarks/record.py --check    # also gate on speedup
+
+The JSON shape (see PERFORMANCE.md for how to read it)::
+
+    {
+      "schema": "engine-suite/1",
+      "workloads": {
+        "<workload>": {
+          "<engine>/<store_impl>": {
+            "seconds": float,
+            "evaluations": int, "retriggers": int, "configurations": int
+          }, ...
+        }, ...
+      },
+      "speedups": { "<workload>": {"depgraph-versioned-over-kleene": float, ...} }
+    }
+
+``--check`` exits non-zero when the depgraph/versioned configuration is
+less than ``--min-speedup`` (default 2.0) times faster than kleene on
+any workload that runs both -- the CI regression gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.cesk.analysis import analyse_cesk_engine
+from repro.corpus.cps_programs import id_chain
+from repro.corpus.fj_programs import PROGRAMS as FJ_PROGRAMS
+from repro.corpus.lam_programs import PROGRAMS as LAM_PROGRAMS
+from repro.cps.analysis import analyse_with_engine
+from repro.fj.analysis import analyse_fj_engine
+
+#: Engine/store-impl combinations: kleene has no mutable-store variant.
+COMBINATIONS = (
+    ("kleene", "persistent"),
+    ("worklist", "persistent"),
+    ("worklist", "versioned"),
+    ("depgraph", "persistent"),
+    ("depgraph", "versioned"),
+)
+
+
+def _workloads() -> dict:
+    """Label -> (runner(engine, store_impl, stats) -> result, combos)."""
+    chain30 = id_chain(30)
+    chain200 = id_chain(200)
+    church = LAM_PROGRAMS["church-two-two"]
+    visitor = FJ_PROGRAMS["visitor"]
+    return {
+        "cps-id-chain-30-k1": (
+            lambda engine, impl, stats: analyse_with_engine(
+                chain30, engine, k=1, stats=stats, store_impl=impl
+            ),
+            COMBINATIONS,
+        ),
+        "lam-church-two-two-k1": (
+            lambda engine, impl, stats: analyse_cesk_engine(
+                church, engine, k=1, stats=stats, store_impl=impl
+            ),
+            COMBINATIONS,
+        ),
+        "fj-visitor-k1": (
+            lambda engine, impl, stats: analyse_fj_engine(
+                visitor, engine, k=1, stats=stats, store_impl=impl
+            ),
+            COMBINATIONS,
+        ),
+        # the scaling workload behind the headline speedup: the store
+        # grows linearly with the chain, so the persistent path goes
+        # quadratic; kleene and the blind worklist are far too slow here
+        "cps-id-chain-200-k1": (
+            lambda engine, impl, stats: analyse_with_engine(
+                chain200, engine, k=1, stats=stats, store_impl=impl
+            ),
+            (("depgraph", "persistent"), ("depgraph", "versioned")),
+        ),
+    }
+
+
+def run_suite() -> dict:
+    record: dict = {
+        "schema": "engine-suite/1",
+        "python": sys.version.split()[0],
+        "workloads": {},
+        "speedups": {},
+    }
+    for label, (runner, combos) in _workloads().items():
+        rows: dict = {}
+        for engine, impl in combos:
+            # kleene runs report no store_impl distinction; the suffix
+            # keys make every cell self-describing regardless
+            stats: dict = {}
+            start = time.perf_counter()
+            runner(engine, impl, stats)
+            seconds = time.perf_counter() - start
+            rows[f"{engine}/{impl}"] = {
+                "seconds": round(seconds, 6),
+                "evaluations": stats.get("evaluations"),
+                "retriggers": stats.get("retriggers"),
+                "configurations": stats.get("configurations"),
+            }
+            print(
+                f"{label:24s} {engine:>8s}/{impl:<10s} {seconds:8.3f}s "
+                f"evals={stats.get('evaluations', '-')}",
+                file=sys.stderr,
+            )
+        record["workloads"][label] = rows
+        speedups: dict = {}
+        fast = rows.get("depgraph/versioned")
+        if fast and fast["seconds"] > 0:
+            for reference in ("kleene/persistent", "depgraph/persistent"):
+                if reference in rows:
+                    name = f"depgraph-versioned-over-{reference.replace('/', '-')}"
+                    speedups[name] = round(rows[reference]["seconds"] / fast["seconds"], 2)
+        record["speedups"][label] = speedups
+    return record
+
+
+def check(record: dict, min_speedup: float) -> list[str]:
+    """The CI gate: depgraph/versioned must beat kleene by ``min_speedup``."""
+    failures = []
+    for label, speedups in record["speedups"].items():
+        ratio = speedups.get("depgraph-versioned-over-kleene-persistent")
+        if ratio is None:
+            continue
+        if ratio < min_speedup:
+            failures.append(
+                f"{label}: depgraph/versioned only {ratio:.2f}x over kleene "
+                f"(need >= {min_speedup:.1f}x)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_2.json", help="where to write the record")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero if depgraph/versioned regresses below --min-speedup over kleene",
+    )
+    parser.add_argument("--min-speedup", type=float, default=2.0)
+    args = parser.parse_args(argv)
+
+    record = run_suite()
+    with open(args.output, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}", file=sys.stderr)
+
+    if args.check:
+        failures = check(record, args.min_speedup)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,7 @@ from typing import Any, Callable, Hashable
 from repro.core.addresses import Addressable, Binding, KCFA, ZeroCFA
 from repro.core.collecting import PerStateStoreCollecting, SharedStoreCollecting
 from repro.core.driver import (
+    check_store_impl_scope,
     prepare_engine_store,
     run_analysis,
     run_analysis_worklist,
@@ -254,11 +255,13 @@ def analyse_cesk(
     gc: bool = False,
     label: str = "",
     engine: str | None = None,
+    store_impl: str = "persistent",
 ) -> CESKAnalysis:
     """Assemble a CESK analysis from the shared degrees of freedom."""
     store = store_like or BasicStore()
+    check_store_impl_scope(engine, store_impl)
     if engine is not None:
-        store = prepare_engine_store(engine, store, gc)
+        store = prepare_engine_store(engine, store, gc, store_impl)
         shared = True
     interface = AbstractCESKInterface(addressing, store)
     collector = (
@@ -301,10 +304,19 @@ def analyse_cesk_counting(expr: Expr, k: int = 1, shared: bool = False) -> CESKA
 
 
 def analyse_cesk_engine(
-    expr: Expr, engine: str, k: int = 1, stats: dict | None = None
+    expr: Expr,
+    engine: str,
+    k: int = 1,
+    stats: dict | None = None,
+    store_impl: str = "persistent",
 ) -> CESKAnalysisResult:
     """Global-store k-CFA for direct-style programs under a named engine."""
-    analysis = analyse_cesk(KCFA(k), engine=engine, label=f"cesk-{k}cfa-{engine}")
+    analysis = analyse_cesk(
+        KCFA(k),
+        engine=engine,
+        label=f"cesk-{k}cfa-{engine}-{store_impl}",
+        store_impl=store_impl,
+    )
     result = analysis.run(expr)
     if stats is not None:
         stats.update(analysis.last_stats)

@@ -13,6 +13,8 @@ being returned (*return* mode); the two are distinguished by type.
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from repro.util.intern import hash_consed
 from typing import Any, Hashable
 
 from repro.lam.syntax import App, Expr, Lam
@@ -33,6 +35,7 @@ def free_vars_cache(expr: Expr) -> frozenset:
         return result
 
 
+@hash_consed
 @dataclass(frozen=True)
 class Clo:
     """A closure: the machine's only *proper* value."""
@@ -50,6 +53,7 @@ class Frame:
     __slots__ = ()
 
 
+@hash_consed
 @dataclass(frozen=True)
 class HaltF(Frame):
     """The empty continuation."""
@@ -58,6 +62,7 @@ class HaltF(Frame):
         return "<halt>"
 
 
+@hash_consed
 @dataclass(frozen=True)
 class LetF(Frame):
     """``(let ((x [.])) body)``: awaiting the right-hand side's value."""
@@ -71,6 +76,7 @@ class LetF(Frame):
         return f"<let {self.var}>"
 
 
+@hash_consed
 @dataclass(frozen=True)
 class FunF(Frame):
     """``([.] e1 ... en)``: awaiting the operator's value."""
@@ -84,6 +90,7 @@ class FunF(Frame):
         return f"<fun {len(self.args)} args>"
 
 
+@hash_consed
 @dataclass(frozen=True)
 class ArgF(Frame):
     """``(f v1 ... [.] e ... )``: awaiting the next argument's value."""
@@ -99,6 +106,7 @@ class ArgF(Frame):
         return f"<arg {len(self.done)}/{len(self.done) + 1 + len(self.remaining)}>"
 
 
+@hash_consed
 @dataclass(frozen=True)
 class KontTag:
     """The pseudo-variable under which a continuation is allocated.
@@ -116,6 +124,7 @@ class KontTag:
         return f"kont[{self.site!r}]"
 
 
+@hash_consed
 @dataclass(frozen=True)
 class PState:
     """A partial CESK state: control, environment, continuation address.
@@ -145,6 +154,7 @@ class PState:
         return f"<{mode} {self.ctrl!r} | ka={self.ka!r}>"
 
 
+@hash_consed
 @dataclass(frozen=True)
 class SiteContext:
     """A :class:`~repro.core.addresses.HasContextKey` carrier for call sites.

@@ -15,7 +15,11 @@ defaults from the file extension (``.cps``, ``.lam``, ``.fj``).
 domain: ``kleene`` (whole-domain rounds), ``worklist`` (frontier-driven,
 dependency-blind) or ``depgraph`` (frontier-driven, re-evaluating only
 configurations whose store dependencies changed).  All three compute
-identical results; ``depgraph`` is the fast one.
+identical results; ``depgraph`` is the fast one.  ``--store-impl``
+picks the store representation behind the worklist engines:
+``persistent`` (immutable PMap snapshots) or ``versioned`` (one mutable
+store with per-address change versions -- O(delta) per evaluation, the
+fastest configuration; see PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -90,6 +94,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     lang = detect_language(args.program, args.lang)
     source = read_source(args.program)
     engine = args.engine
+    store_impl = args.store_impl
 
     if lang == "cps":
         from repro.core.store import CountingStore
@@ -108,6 +113,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
                 shared=args.shared,
                 gc=args.gc,
                 engine=engine,
+                store_impl=store_impl,
             )
         )
         result, seconds = timed(lambda: analysis.run(program, worklist=not args.shared))
@@ -126,6 +132,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
                 shared=args.shared,
                 gc=args.gc,
                 engine=engine,
+                store_impl=store_impl,
             )
         )
         result, seconds = timed(lambda: analysis.run(expr, worklist=not args.shared))
@@ -150,6 +157,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
                 shared=args.shared,
                 gc=args.gc,
                 engine=engine,
+                store_impl=store_impl,
             )
         )
         result, seconds = timed(lambda: analysis.run(program, worklist=not args.shared))
@@ -173,7 +181,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     if engine is not None and analysis.last_stats:
         stats = analysis.last_stats
         print(
-            f"engine: {engine}  evaluations: {stats.get('evaluations', '-')}  "
+            f"engine: {engine} ({store_impl})  "
+            f"evaluations: {stats.get('evaluations', '-')}  "
             f"retriggers: {stats.get('retriggers', '-')}"
         )
     return 0
@@ -204,6 +213,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="fixed-point strategy over the global store "
         "(kleene = whole-domain rounds, worklist = dependency-blind frontier, "
         "depgraph = dependency-tracked re-evaluation)",
+    )
+    an_p.add_argument(
+        "--store-impl",
+        choices=("persistent", "versioned"),
+        default="persistent",
+        help="store representation behind the worklist engines "
+        "(persistent = immutable snapshots, versioned = mutable store "
+        "with per-address change versions; needs --engine worklist|depgraph)",
     )
     an_p.add_argument("--shared", action="store_true", help="single-threaded store")
     an_p.add_argument("--gc", action="store_true", help="abstract garbage collection")

@@ -26,13 +26,21 @@ from repro.core.lattice import (
 from repro.core.monads import ListMonad, StateT, StorePassing
 from repro.core.fixpoint import (
     ENGINES,
+    STORE_IMPLS,
     Collecting,
     explore_fp,
     global_store_explore,
     kleene_iterate,
 )
 from repro.core.addresses import Addressable, ConcreteAddressing, KCFA, ZeroCFA
-from repro.core.store import BasicStore, CountingStore, RecordingStore, StoreLike
+from repro.core.store import (
+    BasicStore,
+    CountingStore,
+    MutableStore,
+    RecordingStore,
+    StoreLike,
+    VersionedStore,
+)
 from repro.core.driver import run_analysis, run_with_engine
 
 __all__ = [
@@ -47,13 +55,16 @@ __all__ = [
     "Lattice",
     "ListMonad",
     "MapLattice",
+    "MutableStore",
     "PairLattice",
     "PowersetLattice",
     "RecordingStore",
+    "STORE_IMPLS",
     "StateT",
     "StoreLike",
     "StorePassing",
     "UnitLattice",
+    "VersionedStore",
     "ZeroCFA",
     "explore_fp",
     "global_store_explore",

@@ -34,6 +34,8 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+
+from repro.util.intern import hash_consed
 from typing import Any, Hashable, Protocol, runtime_checkable
 
 
@@ -49,6 +51,7 @@ class HasContextKey(Protocol):
     def context_key(self) -> Hashable: ...
 
 
+@hash_consed
 @dataclass(frozen=True)
 class Binding:
     """An abstract address pairing a variable with a context (the paper's ``KAddr``).

@@ -76,6 +76,18 @@ class PerStateStoreCollecting(Collecting):
         results = self.monad.run(self._instrumented(step)(pstate), guts, store)
         return frozenset(results)
 
+    def run_config_pairs(self, step: Callable[[Any], Any], config: tuple) -> list:
+        """One monadic step, returning only the ``(pstate, guts)`` pairs.
+
+        The delta-driven engine threads one shared
+        :class:`~repro.core.store.MutableStore`, so every branch's result
+        store is the same object and all store growth is read off its
+        changelog; only the successor pairs are informative.
+        """
+        (pstate, guts), store = config
+        results = self.monad.run(self._instrumented(step)(pstate), guts, store)
+        return [pair for pair, _store in results]
+
     def apply_step(self, step: Callable[[Any], Any], fp: frozenset) -> frozenset:
         out: set = set()
         for config in fp:

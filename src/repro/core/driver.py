@@ -23,13 +23,14 @@ from typing import Any, Callable
 from repro.core.collecting import PerStateStoreCollecting, SharedStoreCollecting
 from repro.core.fixpoint import (
     ENGINES,
+    STORE_IMPLS,
     Collecting,
     check_global_store_compat,
     explore_fp,
     global_store_explore,
     worklist_explore,
 )
-from repro.core.store import ACounter, RecordingStore, StoreLike
+from repro.core.store import ACounter, RecordingStore, StoreLike, VersionedStore
 
 
 def run_analysis(
@@ -55,7 +56,25 @@ def run_analysis_worklist(
     )
 
 
-def prepare_engine_store(engine: str, store_like: StoreLike, gc: bool = False) -> StoreLike:
+def check_store_impl_scope(engine: str | None, store_impl: str) -> None:
+    """Reject a non-default ``store_impl`` without a global-store engine.
+
+    Shared by the three language assemblers so the rule (and its
+    wording) has one home next to :data:`~repro.core.fixpoint.STORE_IMPLS`.
+    """
+    if engine is None and store_impl != "persistent":
+        raise ValueError(
+            "store_impl selects a global-store engine representation; "
+            "pass engine='worklist' or engine='depgraph' with it"
+        )
+
+
+def prepare_engine_store(
+    engine: str,
+    store_like: StoreLike,
+    gc: bool = False,
+    store_impl: str = "persistent",
+) -> StoreLike:
     """Validate an engine selection and ready its store (all three languages).
 
     Abstract GC filters the store relative to a single configuration,
@@ -68,14 +87,40 @@ def prepare_engine_store(engine: str, store_like: StoreLike, gc: bool = False) -
     re-evaluations, so a loop allocating through one configuration would
     keep a count of ONE and fabricate must-alias facts.
 
+    ``store_impl`` picks the store representation behind the worklist
+    engines (:data:`~repro.core.fixpoint.STORE_IMPLS`): ``persistent``
+    keeps the given PMap-backed store; ``versioned`` swaps in a
+    :class:`~repro.core.store.VersionedStore` over the same value
+    lattice, whose mutable element and per-address change versions let
+    the engine do O(delta) work per evaluation.  The kleene engine
+    iterates over immutable whole-domain snapshots, so it pairs only
+    with ``persistent``; counting stores have no versioned counterpart
+    (they are kleene-only anyway).
+
     For the ``depgraph`` engine the store is wrapped in a
     :class:`~repro.core.store.RecordingStore` so the fixed-point loop
     can observe each configuration's read/write footprint.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; choose one of {ENGINES}")
+    if store_impl not in STORE_IMPLS:
+        raise ValueError(
+            f"unknown store impl {store_impl!r}; choose one of {STORE_IMPLS}"
+        )
     if engine != "kleene":
         check_global_store_compat(gc=gc, counting=isinstance(store_like, ACounter))
+    if store_impl == "versioned":
+        if engine == "kleene":
+            raise ValueError(
+                "the kleene engine iterates immutable whole-domain snapshots; "
+                "the versioned (mutable) store pairs with the worklist engines"
+            )
+        if isinstance(store_like, ACounter):
+            raise ValueError(
+                "counting stores have no versioned counterpart (counting is "
+                "kleene-only, and the versioned store backs worklist engines)"
+            )
+        store_like = VersionedStore(store_like.value_lattice)
     if engine == "depgraph":
         return RecordingStore(store_like)
     return store_like

@@ -23,6 +23,9 @@ interface and the monad.  This module provides
   worklist instead of whole-domain Kleene rounds, optionally with
   per-configuration dependency tracking so that a store change only
   re-evaluates the configurations that actually read a changed address.
+  Against a :class:`~repro.core.store.VersionedStore` the same engine
+  runs its O(delta) loop: one mutable store, growth read off a
+  changelog, no persistent-map joins on the hot path.
 
 The three interchangeable strategies over the widened domain are named
 by :data:`ENGINES`: ``kleene`` (whole-domain rounds), ``worklist``
@@ -39,10 +42,17 @@ from collections import deque
 from typing import Any, Callable, Hashable, Iterable
 
 from repro.core.lattice import Lattice
-from repro.core.store import ACounter, RecordingStore, unwrap_store
+from repro.core.store import ACounter, RecordingStore, VersionedStore, unwrap_store
 
 #: The interchangeable fixed-point strategies over the global-store domain.
 ENGINES = ("kleene", "worklist", "depgraph")
+
+#: The store representations the worklist engines can run against:
+#: ``persistent`` threads immutable PMap stores and compares growth
+#: through the store lattice; ``versioned`` threads one mutable
+#: :class:`~repro.core.store.MutableStore` and reads growth off its
+#: changelog in O(delta).
+STORE_IMPLS = ("persistent", "versioned")
 
 
 def check_global_store_compat(gc: bool, counting: bool) -> None:
@@ -251,19 +261,41 @@ def global_store_explore(
     Returns the fixed point in the shared-domain shape
     ``(frozenset(configs), store)``.  ``stats``, when supplied, is filled
     with evaluation counts for benchmarking.
+
+    Two store representations back the loop (:data:`STORE_IMPLS`): with a
+    persistent store the engine joins result stores through the store
+    lattice and compares growth address-by-address; when the collecting
+    domain's store is a :class:`~repro.core.store.VersionedStore` the
+    engine switches to :func:`_versioned_explore`, which mutates one
+    shared store in place and reads growth off its changelog in O(delta).
+    Either way the returned store is an immutable PMap and the fixed
+    point is identical (checked across the corpus by the store-impl
+    equivalence tests).
     """
     inner = collecting.inner
     store_like = inner.store_like
+    base_store = unwrap_store(store_like)
     check_global_store_compat(
         gc=getattr(inner, "collector", None) is not None,
-        counting=isinstance(unwrap_store(store_like), ACounter),
+        counting=isinstance(base_store, ACounter),
     )
-    store_lattice = store_like.lattice()
     recorder = store_like if isinstance(store_like, RecordingStore) else None
     if track_deps and recorder is None:
         raise TypeError(
             "dependency tracking needs the collecting domain's store to be a RecordingStore"
         )
+    if isinstance(base_store, VersionedStore):
+        return _versioned_explore(
+            collecting,
+            step,
+            initial_state,
+            base_store,
+            recorder,
+            track_deps=track_deps,
+            max_evals=max_evals,
+            stats=stats,
+        )
+    store_lattice = store_like.lattice()
     value_lattice = store_like.value_lattice
 
     seed_configs, seed_store = collecting.inject(initial_state)
@@ -286,11 +318,16 @@ def global_store_explore(
 
         if track_deps:
             recorder.begin_log()
-        results = inner.run_config(step, (config, global_store))
-        if track_deps:
-            reads, writes = recorder.end_log()
+            try:
+                results = inner.run_config(step, (config, global_store))
+            finally:
+                # always close the bracket: a step that raises must not
+                # leave the recorder logging (begin_log refuses reentry)
+                reads, writes = recorder.end_log()
             for addr in reads:
                 deps.setdefault(addr, set()).add(config)
+        else:
+            results = inner.run_config(step, (config, global_store))
 
         new_store = global_store
         for _pair, result_store in results:
@@ -334,3 +371,95 @@ def global_store_explore(
             tracked_addresses=len(deps),
         )
     return (frozenset(seen), global_store)
+
+
+def _versioned_explore(
+    collecting: Any,
+    step: Callable[[Any], Any],
+    initial_state: Any,
+    base_store: Any,
+    recorder: Any,
+    track_deps: bool,
+    max_evals: int,
+    stats: dict | None,
+) -> tuple:
+    """The O(delta) hot loop behind :func:`global_store_explore`.
+
+    Same fixed point, different bookkeeping: the engine owns one
+    :class:`~repro.core.store.MutableStore` which every evaluation
+    mutates in place (join-only, so sharing it across monadic branches
+    *is* the global-store widening), and growth is read off the store's
+    changelog instead of joining and re-comparing persistent maps:
+
+    * "did this evaluation change anything" is ``mark()`` before versus
+      after -- an integer comparison;
+    * "which readers to retrigger" walks only ``changed_since(mark)``,
+      the addresses whose value sets actually grew.
+
+    The result is frozen back to a PMap, so callers see the exact shape
+    (and value) the persistent path produces.
+    """
+    inner = collecting.inner
+    seed_configs, seed_store = collecting.inject(initial_state)
+    mstore = base_store.thaw(seed_store)
+    seen: set = set(seed_configs)
+    worklist: deque = deque(seen)
+    queued: set = set(seen)
+    deps: dict = {}
+    evals = 0
+    retriggers = 0
+
+    while worklist:
+        config = worklist.popleft()
+        queued.discard(config)
+        evals += 1
+        if evals > max_evals:
+            raise FixpointDiverged(
+                f"no fixed point within {max_evals} configuration evaluations"
+            )
+
+        mark = mstore.mark()
+        if track_deps:
+            recorder.begin_log()
+            try:
+                pairs = inner.run_config_pairs(step, (config, mstore))
+            finally:
+                # always close the bracket: a step that raises must not
+                # leave the recorder logging (begin_log refuses reentry)
+                reads, _writes = recorder.end_log()
+            for addr in reads:
+                deps.setdefault(addr, set()).add(config)
+        else:
+            pairs = inner.run_config_pairs(step, (config, mstore))
+
+        for pair in pairs:
+            if pair not in seen:
+                seen.add(pair)
+                queued.add(pair)
+                worklist.append(pair)
+
+        grown = mstore.changed_since(mark)
+        if not grown:
+            continue
+        if track_deps:
+            for addr in set(grown):
+                for reader in deps.get(addr, ()):
+                    if reader not in queued:
+                        queued.add(reader)
+                        worklist.append(reader)
+                        retriggers += 1
+        else:
+            for reader in seen:
+                if reader not in queued:
+                    queued.add(reader)
+                    worklist.append(reader)
+                    retriggers += 1
+
+    if stats is not None:
+        stats.update(
+            evaluations=evals,
+            retriggers=retriggers,
+            configurations=len(seen),
+            tracked_addresses=len(deps),
+        )
+    return (frozenset(seen), base_store.freeze(mstore))

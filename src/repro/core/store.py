@@ -14,9 +14,12 @@ store co-domain ``d``.  Here a :class:`StoreLike` object carries its
 value-set lattice and exposes the store-set lattice (needed by the
 store-sharing Galois connection of 6.5).
 
-Two instances:
+Three instances:
 
 * :class:`BasicStore` -- ``a :-> P(Val)``, the plain join-on-bind store;
+* :class:`VersionedStore` -- the same co-domain over an engine-owned
+  *mutable* :class:`MutableStore` with per-address change versions, the
+  O(delta) backing of the worklist engines (see PERFORMANCE.md);
 * :class:`CountingStore` -- ``a :-> (P(Val), AbsNat)``: every binding also
   tracks how many times its address has been allocated, in the abstract
   naturals ``{0,1,inf}`` (6.3).  The :class:`ACounter` mix-in exposes the
@@ -48,6 +51,10 @@ from repro.core.lattice import (
     PowersetLattice,
 )
 from repro.util.pcollections import PMap, pmap
+
+
+#: Sentinel distinguishing "address unbound" from "address bound to None".
+_UNBOUND = object()
 
 
 class StoreLike(ABC):
@@ -116,17 +123,19 @@ class BasicStore(StoreLike):
         return pmap()
 
     def bind(self, store: PMap, addr: Hashable, d: Any) -> PMap:
-        if addr in store:
-            return store.set(addr, self.value_lattice.join(store[addr], d))
-        return store.set(addr, d)
+        old = store.get(addr, _UNBOUND)
+        if old is _UNBOUND:
+            return store.set(addr, d)
+        return store.set(addr, self.value_lattice.join(old, d))
 
     def replace(self, store: PMap, addr: Hashable, d: Any) -> PMap:
         return store.set(addr, d)
 
     def fetch(self, store: PMap, addr: Hashable) -> Any:
-        if addr in store:
-            return store[addr]
-        return self.value_lattice.bottom()
+        value = store.get(addr, _UNBOUND)
+        if value is _UNBOUND:
+            return self.value_lattice.bottom()
+        return value
 
     def filter_store(self, store: PMap, keep: Callable[[Hashable], bool]) -> PMap:
         return store.restrict(keep)
@@ -234,7 +243,16 @@ class RecordingStore(StoreLike):
         self.writes: set = set()
 
     def begin_log(self) -> None:
-        """Start a fresh read/write log for one bracketed evaluation."""
+        """Start a fresh read/write log for one bracketed evaluation.
+
+        Brackets do not nest: a reentrant ``begin_log`` would silently
+        discard the outer bracket's log, so it is an error.
+        """
+        if self.logging:
+            raise RuntimeError(
+                "RecordingStore.begin_log while a log is already open; "
+                "end_log the outer bracket first (brackets do not nest)"
+            )
         self.logging = True
         self.reads = set()
         self.writes = set()
@@ -278,6 +296,161 @@ class RecordingStore(StoreLike):
 
     def lattice(self) -> Lattice:
         return self.inner.lattice()
+
+
+class MutableStore:
+    """The store element a :class:`VersionedStore` operates on.
+
+    A plain mutable mapping ``addr -> value-set`` plus the versioning
+    instrumentation the delta-driven engine consumes:
+
+    * ``versions[addr]`` -- a per-address counter, bumped exactly when a
+      bind/replace *changes* the value set at ``addr`` (a bind that adds
+      nothing bumps nothing);
+    * ``changelog`` -- the addresses of those changes in order, so "what
+      changed since mark ``m``" is the slice ``changelog[m:]`` and "did
+      anything change" is an integer comparison of lengths.
+
+    Identity semantics: two mutable stores are equal only when they are
+    the same object.  For value semantics, freeze to a
+    :class:`~repro.util.pcollections.PMap` via :meth:`VersionedStore.freeze`.
+
+    The read-side mapping protocol (``get``/``in``/``keys``/``len``)
+    matches :class:`~repro.util.pcollections.PMap`, so
+    :class:`VersionedStore`'s read operations accept either a live
+    mutable store or a frozen snapshot.
+    """
+
+    __slots__ = ("data", "versions", "changelog")
+
+    def __init__(self, entries: Any = ()):  # Mapping | iterable of pairs
+        self.data: dict = dict(entries)
+        self.versions: dict = {addr: 1 for addr in self.data}
+        self.changelog: list = list(self.data)
+
+    # -- read-side mapping protocol (shared with PMap) ----------------------
+
+    def get(self, addr: Hashable, default: Any = None) -> Any:
+        return self.data.get(addr, default)
+
+    def __contains__(self, addr: object) -> bool:
+        return addr in self.data
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def keys(self):
+        return self.data.keys()
+
+    def copy(self) -> "MutableStore":
+        dup = MutableStore()
+        dup.data = dict(self.data)
+        dup.versions = dict(self.versions)
+        dup.changelog = list(self.changelog)
+        return dup
+
+    def version(self, addr: Hashable) -> int:
+        """The monotone per-address change counter (0 when unbound)."""
+        return self.versions.get(addr, 0)
+
+    def mark(self) -> int:
+        """The current change count; pair with :meth:`changed_since`."""
+        return len(self.changelog)
+
+    def changed_since(self, mark: int) -> list:
+        """Addresses whose value set changed after ``mark``, in order."""
+        return self.changelog[mark:]
+
+    def __repr__(self) -> str:
+        return f"MutableStore({len(self.data)} addrs, {len(self.changelog)} changes)"
+
+
+class VersionedStore(StoreLike):
+    """An engine-owned *mutable* store with per-address change versions.
+
+    The persistent :class:`BasicStore` pays O(|store|) per bind (the
+    ``PMap`` copy) and the worklist engines pay another O(|store|) per
+    evaluation joining result stores and re-comparing values through
+    ``fetch``.  A :class:`VersionedStore` mutates one
+    :class:`MutableStore` in place and bumps a per-address version
+    counter only when a bind actually grows the value set, so the engine
+    learns "did anything change" and "which addresses grew" from the
+    changelog in O(delta) -- see
+    :func:`repro.core.fixpoint.global_store_explore`, which switches to
+    the delta-driven loop when it finds one of these underneath the
+    collecting domain.
+
+    Because mutation is join-only, threading one shared store through
+    every monadic branch is exactly the global-store widening the
+    worklist engines already compute; the ``kleene`` engine iterates over
+    immutable whole-domain snapshots and therefore pairs only with the
+    persistent stores (enforced at assembly time).
+
+    Invariant (checked by the monotonicity tests): value sets only grow,
+    ``versions[addr]`` is bumped exactly when ``data[addr]`` changes, and
+    ``changelog`` records those addresses in order.
+    """
+
+    def empty(self) -> MutableStore:
+        return MutableStore()
+
+    def bind(self, store: MutableStore, addr: Hashable, d: Any) -> MutableStore:
+        data = store.data
+        old = data.get(addr, _UNBOUND)
+        if old is _UNBOUND:
+            data[addr] = d
+        else:
+            if self.value_lattice.leq(d, old):
+                return store
+            data[addr] = self.value_lattice.join(old, d)
+        store.versions[addr] = store.versions.get(addr, 0) + 1
+        store.changelog.append(addr)
+        return store
+
+    def replace(self, store: MutableStore, addr: Hashable, d: Any) -> MutableStore:
+        old = store.data.get(addr, _UNBOUND)
+        if old is d or old == d:
+            return store
+        store.data[addr] = d
+        store.versions[addr] = store.versions.get(addr, 0) + 1
+        store.changelog.append(addr)
+        return store
+
+    def fetch(self, store: Any, addr: Hashable) -> Any:
+        # ``store`` may be a live MutableStore or a frozen PMap snapshot;
+        # both speak ``get``.
+        value = store.get(addr, _UNBOUND)
+        if value is _UNBOUND:
+            return self.value_lattice.bottom()
+        return value
+
+    def filter_store(self, store: Any, keep: Callable[[Hashable], bool]) -> MutableStore:
+        return MutableStore({a: store.get(a) for a in store.keys() if keep(a)})
+
+    def addresses(self, store: Any) -> Iterable[Hashable]:
+        return list(store.keys())
+
+    def lattice(self) -> Lattice:
+        # The lattice of *snapshots*: mutable stores have identity, not
+        # order, so widening/joining frozen PMap images is the meaningful
+        # (and only engine-visible) store-set lattice.
+        return MapLattice(self.value_lattice)
+
+    # -- snapshot conversions (the immutable boundary) -----------------------
+
+    def thaw(self, store: Any) -> MutableStore:
+        """A private mutable copy of ``store`` (MutableStore or mapping).
+
+        The engine thaws the injected seed store so repeated runs of one
+        assembled analysis never share mutation.
+        """
+        if isinstance(store, MutableStore):
+            return store.copy()
+        return MutableStore(store)
+
+    def freeze(self, store: MutableStore) -> PMap:
+        """An immutable snapshot, presentable wherever a PMap store goes."""
+        return pmap(store.data)
 
 
 def unwrap_store(store_like: StoreLike) -> StoreLike:

@@ -28,6 +28,7 @@ from typing import Any, Callable, Hashable
 from repro.core.addresses import Addressable, Binding, ConcreteAddressing, KCFA, ZeroCFA
 from repro.core.collecting import PerStateStoreCollecting, SharedStoreCollecting
 from repro.core.driver import (
+    check_store_impl_scope,
     prepare_engine_store,
     run_analysis,
     run_analysis_worklist,
@@ -260,6 +261,7 @@ def analyse(
     gc: bool = False,
     label: str = "",
     engine: str | None = None,
+    store_impl: str = "persistent",
 ) -> CPSAnalysis:
     """Assemble an analysis from the paper's degrees of freedom.
 
@@ -268,11 +270,14 @@ def analyse(
     the single-threaded-store widening (6.5); ``gc`` weaves in abstract
     garbage collection (6.4); ``engine`` picks a fixed-point strategy
     over the store-widened domain (one of
-    :data:`~repro.core.fixpoint.ENGINES`), superseding ``shared``.
+    :data:`~repro.core.fixpoint.ENGINES`), superseding ``shared``;
+    ``store_impl`` picks the store representation behind the worklist
+    engines (one of :data:`~repro.core.fixpoint.STORE_IMPLS`).
     """
     store = store_like or BasicStore()
+    check_store_impl_scope(engine, store_impl)
     if engine is not None:
-        store = prepare_engine_store(engine, store, gc)
+        store = prepare_engine_store(engine, store, gc, store_impl)
         shared = True
     interface = AbstractCPSInterface(addressing, store)
     collector = (
@@ -348,6 +353,7 @@ def analyse_with_engine(
     k: int = 1,
     counting: bool = False,
     stats: dict | None = None,
+    store_impl: str = "persistent",
 ) -> CPSAnalysisResult:
     """k-CFA over the global store under a named fixed-point engine.
 
@@ -356,12 +362,15 @@ def analyse_with_engine(
     in how much of the reached set each store change re-evaluates.
     ``counting`` composes with the ``kleene`` engine only (the worklist
     engines skip the re-evaluations abstract counting relies on).
+    ``store_impl`` picks persistent or versioned store backing for the
+    worklist engines (identical fixed points, O(delta) hot loop).
     """
     analysis = analyse(
         KCFA(k),
         store_like=CountingStore() if counting else None,
         engine=engine,
-        label=f"{k}cfa-{engine}",
+        label=f"{k}cfa-{engine}-{store_impl}",
+        store_impl=store_impl,
     )
     result = analysis.run(program)
     if stats is not None:

@@ -28,6 +28,8 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+
+from repro.util.intern import hash_consed
 from typing import Any, Hashable
 
 from repro.core.monads import Monad, MonadPlus, map_m, run_do, sequence_
@@ -35,6 +37,7 @@ from repro.cps.syntax import AExp, Call, CExp, Exit, Lam, Var
 from repro.util.pcollections import PMap, pmap
 
 
+@hash_consed
 @dataclass(frozen=True)
 class Clo:
     """The only denotable value in CPS: a closure ``(lam, rho)``."""
@@ -46,6 +49,7 @@ class Clo:
         return f"Clo({self.lam!r})"
 
 
+@hash_consed
 @dataclass(frozen=True)
 class PState:
     """A partial state ``PSigma a = (CExp, Env a)``: control + environment.

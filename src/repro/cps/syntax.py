@@ -23,6 +23,8 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+
+from repro.util.intern import hash_consed
 from typing import Iterator, Union
 
 Var = str
@@ -40,6 +42,7 @@ class CExp:
     __slots__ = ()
 
 
+@hash_consed
 @dataclass(frozen=True)
 class Ref(AExp):
     """A variable reference."""
@@ -50,6 +53,7 @@ class Ref(AExp):
         return self.var
 
 
+@hash_consed
 @dataclass(frozen=True)
 class Lam(AExp):
     """``(lambda (v1 ... vn) call)``: the only value-forming expression."""
@@ -61,6 +65,7 @@ class Lam(AExp):
         return pp(self)
 
 
+@hash_consed
 @dataclass(frozen=True)
 class Call(CExp):
     """``(f ae1 ... aen)``: application of a function to arguments."""
@@ -72,6 +77,7 @@ class Call(CExp):
         return pp(self)
 
 
+@hash_consed
 @dataclass(frozen=True)
 class Exit(CExp):
     """The terminal call expression."""

@@ -14,6 +14,7 @@ from typing import Any, Callable, Hashable
 from repro.core.addresses import Addressable, Binding, KCFA, ZeroCFA
 from repro.core.collecting import PerStateStoreCollecting, SharedStoreCollecting
 from repro.core.driver import (
+    check_store_impl_scope,
     prepare_engine_store,
     run_analysis,
     run_analysis_worklist,
@@ -275,12 +276,14 @@ def analyse_fj(
     gc: bool = False,
     label: str = "",
     engine: str | None = None,
+    store_impl: str = "persistent",
 ) -> FJAnalysis:
     """Assemble an FJ analysis from the shared degrees of freedom."""
     table = ClassTable.of(program)
     store = store_like or BasicStore()
+    check_store_impl_scope(engine, store_impl)
     if engine is not None:
-        store = prepare_engine_store(engine, store, gc)
+        store = prepare_engine_store(engine, store, gc, store_impl)
         shared = True
     interface = AbstractFJInterface(table, addressing, store)
     collector = (
@@ -325,10 +328,20 @@ def analyse_fj_gc(program: Program, k: int = 1) -> FJAnalysisResult:
 
 
 def analyse_fj_engine(
-    program: Program, engine: str, k: int = 1, stats: dict | None = None
+    program: Program,
+    engine: str,
+    k: int = 1,
+    stats: dict | None = None,
+    store_impl: str = "persistent",
 ) -> FJAnalysisResult:
     """Global-store class-flow analysis under a named fixed-point engine."""
-    analysis = analyse_fj(program, KCFA(k), engine=engine, label=f"fj-{k}cfa-{engine}")
+    analysis = analyse_fj(
+        program,
+        KCFA(k),
+        engine=engine,
+        label=f"fj-{k}cfa-{engine}-{store_impl}",
+        store_impl=store_impl,
+    )
     result = analysis.run(program)
     if stats is not None:
         stats.update(analysis.last_stats)

@@ -10,6 +10,8 @@ continuation addresses (the AAM construction again).
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from repro.util.intern import hash_consed
 from typing import Any, Hashable
 
 from repro.fj.syntax import Expr, free_vars
@@ -27,6 +29,7 @@ def free_vars_cache(expr: Expr) -> frozenset:
         return result
 
 
+@hash_consed
 @dataclass(frozen=True)
 class ObjV:
     """An object value: class name plus field addresses (``fields(C)`` order)."""
@@ -44,12 +47,14 @@ class Frame:
     __slots__ = ()
 
 
+@hash_consed
 @dataclass(frozen=True)
 class HaltF(Frame):
     def __repr__(self) -> str:
         return "<halt>"
 
 
+@hash_consed
 @dataclass(frozen=True)
 class FieldF(Frame):
     """``[.].f``: awaiting the receiver of a field access."""
@@ -58,6 +63,7 @@ class FieldF(Frame):
     parent: Hashable
 
 
+@hash_consed
 @dataclass(frozen=True)
 class InvokeRcvF(Frame):
     """``[.].m(args)``: awaiting the receiver of a method call."""
@@ -69,6 +75,7 @@ class InvokeRcvF(Frame):
     parent: Hashable
 
 
+@hash_consed
 @dataclass(frozen=True)
 class InvokeArgF(Frame):
     """``rcv.m(v..., [.], e...)``: awaiting the next argument."""
@@ -82,6 +89,7 @@ class InvokeArgF(Frame):
     parent: Hashable
 
 
+@hash_consed
 @dataclass(frozen=True)
 class NewArgF(Frame):
     """``new C(v..., [.], e...)``: awaiting the next constructor argument."""
@@ -94,6 +102,7 @@ class NewArgF(Frame):
     parent: Hashable
 
 
+@hash_consed
 @dataclass(frozen=True)
 class CastF(Frame):
     """``(C) [.]``: awaiting the value being cast."""
@@ -102,6 +111,7 @@ class CastF(Frame):
     parent: Hashable
 
 
+@hash_consed
 @dataclass(frozen=True)
 class KontTag:
     """Pseudo-variable for continuation allocation (shared Addressable)."""
@@ -112,6 +122,7 @@ class KontTag:
         return f"kont[{self.site!r}]"
 
 
+@hash_consed
 @dataclass(frozen=True)
 class FieldVar:
     """Pseudo-variable for field-cell allocation: ``new C`` allocates one
@@ -125,6 +136,7 @@ class FieldVar:
         return f"{self.cls}.{self.fld}"
 
 
+@hash_consed
 @dataclass(frozen=True)
 class PState:
     """A partial FJ machine state: control, environment, kont address."""
@@ -149,6 +161,7 @@ class PState:
         return f"<{mode} {self.ctrl!r} | ka={self.ka!r}>"
 
 
+@hash_consed
 @dataclass(frozen=True)
 class SiteContext:
     """Context-key carrier naming the invocation site at dispatch time."""

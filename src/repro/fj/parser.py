@@ -33,6 +33,7 @@ from repro.fj.syntax import (
     Program,
     VarE,
 )
+from repro.util.intern import intern
 
 KEYWORDS = {"class", "extends", "return", "new"}
 
@@ -159,9 +160,9 @@ class _Parser:
                 self.next()
                 args = self.args()
                 self.expect(")")
-                e = Invoke(e, member, args)
+                e = intern(Invoke(e, member, args))
             else:
-                e = FieldAccess(e, member)
+                e = intern(FieldAccess(e, member))
         return e
 
     def primary(self) -> Expr:
@@ -172,7 +173,7 @@ class _Parser:
             self.expect("(")
             args = self.args()
             self.expect(")")
-            return New(cls, args)
+            return intern(New(cls, args))
         if token == "(":
             # '(' ID ')' expr-start  => cast; otherwise a parenthesized expr
             if (
@@ -188,12 +189,12 @@ class _Parser:
                 self.next()
                 cls = self.ident()
                 self.expect(")")
-                return Cast(cls, self.expr())
+                return intern(Cast(cls, self.expr()))
             self.next()
             inner = self.expr()
             self.expect(")")
             return inner
-        return VarE(self.ident())
+        return intern(VarE(self.ident()))
 
     def args(self) -> tuple[Expr, ...]:
         if self.peek() == ")":

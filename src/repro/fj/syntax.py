@@ -13,6 +13,8 @@ synthesize it rather than parse boilerplate).
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from repro.util.intern import hash_consed
 from typing import Iterator
 
 OBJECT = "Object"
@@ -25,6 +27,7 @@ class Expr:
     __slots__ = ()
 
 
+@hash_consed
 @dataclass(frozen=True)
 class VarE(Expr):
     """A variable (including ``this``)."""
@@ -35,6 +38,7 @@ class VarE(Expr):
         return self.name
 
 
+@hash_consed
 @dataclass(frozen=True)
 class FieldAccess(Expr):
     """``e.f``."""
@@ -46,6 +50,7 @@ class FieldAccess(Expr):
         return f"{self.obj!r}.{self.fld}"
 
 
+@hash_consed
 @dataclass(frozen=True)
 class Invoke(Expr):
     """``e.m(e1, ..., en)``."""
@@ -59,6 +64,7 @@ class Invoke(Expr):
         return f"{self.obj!r}.{self.method}({args})"
 
 
+@hash_consed
 @dataclass(frozen=True)
 class New(Expr):
     """``new C(e1, ..., en)``."""
@@ -71,6 +77,7 @@ class New(Expr):
         return f"new {self.cls}({args})"
 
 
+@hash_consed
 @dataclass(frozen=True)
 class Cast(Expr):
     """``(C) e``."""
@@ -82,6 +89,7 @@ class Cast(Expr):
         return f"({self.cls}) {self.obj!r}"
 
 
+@hash_consed
 @dataclass(frozen=True)
 class MethodDef:
     """``T m(T1 x1, ..., Tn xn) { return e; }``."""
@@ -102,6 +110,7 @@ class MethodDef:
         return f"{self.ret_type} {self.name}({params}) {{ return {self.body!r}; }}"
 
 
+@hash_consed
 @dataclass(frozen=True)
 class ClassDef:
     """``class C extends D { fields; methods }`` with the canonical constructor."""
@@ -121,6 +130,7 @@ class ClassDef:
         return f"class {self.name} extends {self.superclass}"
 
 
+@hash_consed
 @dataclass(frozen=True)
 class Program:
     """An FJ program: class definitions plus a main expression."""

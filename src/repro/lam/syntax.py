@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+
+from repro.util.intern import hash_consed
 from typing import Iterator
 
 
@@ -20,6 +22,7 @@ class Expr:
     __slots__ = ()
 
 
+@hash_consed
 @dataclass(frozen=True)
 class Var(Expr):
     """A variable reference."""
@@ -30,6 +33,7 @@ class Var(Expr):
         return self.name
 
 
+@hash_consed
 @dataclass(frozen=True)
 class Lam(Expr):
     """``(lambda (x1 ... xn) body)``."""
@@ -41,6 +45,7 @@ class Lam(Expr):
         return pp(self)
 
 
+@hash_consed
 @dataclass(frozen=True)
 class App(Expr):
     """``(f e1 ... en)``: call-by-value application."""
@@ -52,6 +57,7 @@ class App(Expr):
         return pp(self)
 
 
+@hash_consed
 @dataclass(frozen=True)
 class Let(Expr):
     """``(let ((x e)) body)``: a single sequential binding."""

@@ -1,0 +1,126 @@
+"""Hash-consing: cached structural hashes and a canonicalizing intern pool.
+
+The fixed-point engines spend their lives hashing machine configurations
+into ``seen``/``queued`` sets and dependency maps.  Configurations are
+tuples of frozen dataclasses (syntax nodes, environments, contexts), and
+a dataclass-generated ``__hash__`` rehashes the whole subtree on every
+call -- an O(term) cost paid millions of times on values that never
+change.  Two complementary remedies live here:
+
+* :func:`hash_consed` -- a class decorator for frozen dataclasses that
+  memoizes the structural hash on the instance (computed once, then an
+  attribute read) and short-circuits ``__eq__`` on object identity.
+  Nested decorated values make a parent's *first* hash O(children)
+  instead of O(subtree), and every later hash O(1).
+
+* :func:`intern` -- a global pool mapping each value to a canonical
+  representative, in the tradition of Lisp symbol interning and
+  hash-consed term representations.  The parsers intern every node they
+  build, so structurally equal subterms are pointer-equal and the
+  ``self is other`` fast path in ``__eq__`` fires throughout the
+  analyses (k-CFA contexts, for instance, are tuples *of the call terms
+  themselves*).
+
+Both are semantics-free: hashing and equality remain structural, only
+their cost changes, which the interned-vs-plain equivalence tests pin
+down across all three languages.
+"""
+
+from __future__ import annotations
+
+from typing import Any, TypeVar
+
+T = TypeVar("T")
+
+#: Attribute under which a memoized hash is stashed on the instance.
+_HASH_SLOT = "_hc_hash"
+
+
+def hash_consed(cls: type) -> type:
+    """Class decorator: memoize ``__hash__``, short-circuit ``__eq__`` on identity.
+
+    Apply *above* ``@dataclass(frozen=True)`` so the dataclass-generated
+    structural methods are already in place::
+
+        @hash_consed
+        @dataclass(frozen=True)
+        class Node: ...
+
+    The memo is stored through ``object.__setattr__`` (legal on frozen
+    dataclasses) under a name no dataclass field uses, so structural
+    equality and ``repr`` are unaffected.
+
+    The hash is computed *eagerly at construction*.  Immutable values are
+    built bottom-up -- children exist before their parent -- so eager
+    hashing only ever recurses one level (the children's hashes are
+    already memoized), where a first lazy hash of a deep term would
+    recurse through the whole subtree and can blow the interpreter's
+    recursion limit on chain-shaped programs.
+    """
+    structural_hash = cls.__hash__
+    structural_eq = cls.__eq__
+    structural_init = cls.__init__
+    if structural_hash is None:  # pragma: no cover - decorator misuse
+        raise TypeError(f"{cls.__name__} is unhashable; hash_consed needs frozen=True")
+
+    def __init__(self: Any, *args: Any, **kwargs: Any) -> None:
+        structural_init(self, *args, **kwargs)
+        object.__setattr__(self, _HASH_SLOT, structural_hash(self))
+
+    def __hash__(self: Any) -> int:
+        try:
+            return object.__getattribute__(self, _HASH_SLOT)
+        except AttributeError:  # unpickled pre-memo instance: re-memoize
+            h = structural_hash(self)
+            object.__setattr__(self, _HASH_SLOT, h)
+            return h
+
+    def __eq__(self: Any, other: Any) -> Any:
+        if self is other:
+            return True
+        return structural_eq(self, other)
+
+    def __getstate__(self: Any) -> dict:
+        # Python randomizes string hashes per process, so a pickled memo
+        # would be stale in the unpickling process; drop it and let the
+        # lazy fallback in __hash__ re-memoize there.
+        state = dict(self.__dict__)
+        state.pop(_HASH_SLOT, None)
+        return state
+
+    cls.__init__ = __init__
+    cls.__hash__ = __hash__
+    cls.__eq__ = __eq__
+    cls.__getstate__ = __getstate__
+    return cls
+
+
+#: The global intern pool: value -> its canonical representative.
+_POOL: dict = {}
+
+
+def intern(value: T) -> T:
+    """Return the canonical representative of ``value``.
+
+    The first structurally distinct value wins and is handed back for
+    every later equal value, so ``intern(x) is intern(y)`` exactly when
+    ``x == y``.  Values of different types never compare equal, so one
+    pool serves every interned class.
+
+    The pool holds strong references for the life of the process -- the
+    right trade for batch analyses over a fixed corpus (canonical terms
+    are live for the whole run anyway).  A long-lived host that parses
+    unboundedly many distinct programs should call
+    :func:`clear_intern_pool` between independent workloads.
+    """
+    return _POOL.setdefault(value, value)
+
+
+def intern_pool_size() -> int:
+    """How many canonical values the pool currently holds (for tests/stats)."""
+    return len(_POOL)
+
+
+def clear_intern_pool() -> None:
+    """Drop every canonical value (test isolation; never needed in analyses)."""
+    _POOL.clear()

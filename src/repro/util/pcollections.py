@@ -24,6 +24,9 @@ V = TypeVar("V")
 
 pset = frozenset
 
+#: Sentinel distinguishing "key absent" from "key bound to None".
+_ABSENT = object()
+
 
 class PMap(Mapping[K, V]):
     """An immutable, hashable mapping with persistent-update operations.
@@ -88,7 +91,15 @@ class PMap(Mapping[K, V]):
     # -- persistent updates -------------------------------------------------
 
     def set(self, key: K, value: V) -> "PMap[K, V]":
-        """Return a copy with ``key`` bound to ``value``."""
+        """Return a copy with ``key`` bound to ``value``.
+
+        When ``key`` is already bound to an equal value the receiver is
+        returned unchanged -- no copy, and callers keep the object-identity
+        did-anything-change test the fixed-point engines rely on.
+        """
+        existing = self._d.get(key, _ABSENT)
+        if existing is value or existing == value:
+            return self
         d = dict(self._d)
         d[key] = value
         return PMap(d)

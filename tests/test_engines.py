@@ -10,10 +10,12 @@ configurations, the global store's flow tables, and hence every derived
 metric -- across all three languages and context depths.
 """
 
+import dataclasses
+
 import pytest
 
 from repro.cesk.analysis import analyse_cesk, analyse_cesk_engine, analyse_cesk_shared
-from repro.core.fixpoint import ENGINES, global_store_explore
+from repro.core.fixpoint import ENGINES, STORE_IMPLS, global_store_explore
 from repro.core.store import BasicStore, CountingStore, RecordingStore, unwrap_store
 from repro.corpus.cps_programs import PROGRAMS as CPS_PROGRAMS
 from repro.corpus.cps_programs import id_chain
@@ -113,6 +115,148 @@ class TestFJEngineEquivalence:
         program = FJ_PROGRAMS["animals"]
         finals = {e: analyse_fj_engine(program, e).final_classes() for e in ENGINES}
         assert finals["kleene"] == finals["worklist"] == finals["depgraph"]
+
+
+class TestStoreImplEquivalence:
+    """``versioned`` and ``persistent`` store backings agree everywhere.
+
+    The versioned store changes how the worklist engines detect and
+    propagate store growth (mutable store + changelog instead of
+    persistent-map joins), not what they compute: every engine and
+    store-impl combination must produce the identical widened fixed
+    point -- configurations *and* global store -- across all three
+    languages and the whole corpus.
+    """
+
+    @pytest.mark.parametrize("name", CPS_NAMES)
+    @pytest.mark.parametrize("engine", ["worklist", "depgraph"])
+    def test_cps_corpus(self, name, engine):
+        program = CPS_PROGRAMS[name]
+        persistent = analyse_with_engine(program, engine, k=1)
+        versioned = analyse_with_engine(program, engine, k=1, store_impl="versioned")
+        assert versioned.fp == persistent.fp
+        assert versioned.flows_to() == persistent.flows_to()
+
+    @pytest.mark.parametrize("name", LAM_NAMES)
+    @pytest.mark.parametrize("engine", ["worklist", "depgraph"])
+    def test_lam_corpus(self, name, engine):
+        expr = LAM_PROGRAMS[name]
+        persistent = analyse_cesk_engine(expr, engine, k=1)
+        versioned = analyse_cesk_engine(expr, engine, k=1, store_impl="versioned")
+        assert versioned.fp == persistent.fp
+        assert versioned.flows_to() == persistent.flows_to()
+
+    @pytest.mark.parametrize("name", FJ_NAMES)
+    @pytest.mark.parametrize("engine", ["worklist", "depgraph"])
+    def test_fj_corpus(self, name, engine):
+        program = FJ_PROGRAMS[name]
+        persistent = analyse_fj_engine(program, engine, k=1)
+        versioned = analyse_fj_engine(program, engine, k=1, store_impl="versioned")
+        assert versioned.fp == persistent.fp
+        assert versioned.class_flows() == persistent.class_flows()
+
+    @pytest.mark.parametrize("k", [0, 1])
+    def test_versioned_agrees_with_kleene(self, k):
+        program = CPS_PROGRAMS["mj09"]
+        kleene = analyse_with_engine(program, "kleene", k=k)
+        versioned = analyse_with_engine(
+            program, "depgraph", k=k, store_impl="versioned"
+        )
+        assert versioned.fp == kleene.fp
+
+    def test_versioned_on_generated_family(self):
+        program = id_chain(8)
+        stats = {}
+        persistent = analyse_with_engine(program, "depgraph", k=1)
+        versioned = analyse_with_engine(
+            program, "depgraph", k=1, stats=stats, store_impl="versioned"
+        )
+        assert versioned.fp == persistent.fp
+        assert stats["evaluations"] >= stats["configurations"] > 0
+
+    def test_store_impls_are_named(self):
+        assert STORE_IMPLS == ("persistent", "versioned")
+
+    def test_kleene_rejects_versioned(self):
+        from repro.core.addresses import KCFA
+
+        with pytest.raises(ValueError, match="kleene"):
+            analyse(KCFA(1), engine="kleene", store_impl="versioned")
+
+    def test_unknown_store_impl_rejected(self):
+        from repro.core.addresses import KCFA
+
+        with pytest.raises(ValueError, match="store impl"):
+            analyse(KCFA(1), engine="depgraph", store_impl="magnetic-tape")
+
+    def test_versioned_needs_an_engine(self):
+        from repro.core.addresses import KCFA
+
+        with pytest.raises(ValueError, match="engine"):
+            analyse(KCFA(1), store_impl="versioned")
+
+    def test_counting_rejects_versioned(self):
+        from repro.core.addresses import KCFA
+
+        with pytest.raises(ValueError, match="counting"):
+            analyse(
+                KCFA(1),
+                store_like=CountingStore(),
+                engine="depgraph",
+                store_impl="versioned",
+            )
+
+
+def _uninterned(value):
+    """A structurally equal, pointer-fresh rebuild of a whole syntax tree."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            f.name: _uninterned(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return type(value)(**fields)
+    if isinstance(value, tuple):
+        return tuple(_uninterned(item) for item in value)
+    return value
+
+
+class TestInternedVsPlain:
+    """Hash-consing is invisible to the analyses.
+
+    An interned (parser-canonicalized) program and a pointer-fresh
+    rebuild of the same tree are structurally equal, so every analysis
+    must produce equal fixed points for the two -- across languages and
+    engines.  This pins down that the cached-hash/identity-eq layer
+    changed only the cost of hashing, never its meaning.
+    """
+
+    @pytest.mark.parametrize("name", CPS_NAMES)
+    def test_cps_corpus(self, name):
+        program = CPS_PROGRAMS[name]
+        plain = _uninterned(program)
+        assert plain == program and plain is not program
+        for engine in ENGINES:
+            interned_result = analyse_with_engine(program, engine, k=1)
+            plain_result = analyse_with_engine(plain, engine, k=1)
+            assert interned_result.fp == plain_result.fp, engine
+
+    def test_lam_spot_check(self):
+        expr = LAM_PROGRAMS["church-two-two"]
+        plain = _uninterned(expr)
+        for engine in ENGINES:
+            assert (
+                analyse_cesk_engine(expr, engine, k=1).fp
+                == analyse_cesk_engine(plain, engine, k=1).fp
+            ), engine
+
+    def test_fj_spot_check(self):
+        program = FJ_PROGRAMS["visitor"]
+        plain = _uninterned(program)
+        for engine in ENGINES:
+            assert (
+                analyse_fj_engine(program, engine, k=1).fp
+                == analyse_fj_engine(plain, engine, k=1).fp
+            ), engine
 
 
 class TestRecordingStore:

@@ -1,0 +1,118 @@
+"""The hash-consing layer: cached hashes, identity-fast equality, interning.
+
+The contract is that :func:`repro.util.intern.hash_consed` and
+:func:`repro.util.intern.intern` change the *cost* of hashing and
+equality, never their meaning: structural equality, structural hashes
+and reprs are untouched, which is what lets the layer sit under every
+syntax node, machine state and address without a semantics test
+noticing (the interned-vs-plain equivalence tests in
+``tests/test_engines.py`` check exactly that end to end).
+"""
+
+import dataclasses
+import pickle
+
+from repro.core.addresses import Binding
+from repro.cps.parser import parse_cexp
+from repro.cps.semantics import PState, inject
+from repro.cps.syntax import Call, Exit, Lam, Ref
+from repro.util.intern import _HASH_SLOT, intern, intern_pool_size
+from repro.util.pcollections import pmap
+
+MJ09_SRC = """
+((lambda (id k)
+   (id (lambda (z kz) (kz z))
+       (lambda (a)
+         (id (lambda (y ky) (ky y))
+             (lambda (b) (exit))))))
+ (lambda (x j) (j x))
+ (lambda (r) (exit)))
+"""
+
+
+def rebuild(value):
+    """A structurally equal but pointer-fresh (un-interned) copy."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            f.name: rebuild(getattr(value, f.name)) for f in dataclasses.fields(value)
+        }
+        return type(value)(**fields)
+    if isinstance(value, tuple):
+        return tuple(rebuild(item) for item in value)
+    return value
+
+
+class TestHashConsed:
+    def test_hash_is_memoized_at_construction(self):
+        node = Ref("x")
+        assert object.__getattribute__(node, _HASH_SLOT) == hash(node)
+
+    def test_hash_and_eq_stay_structural(self):
+        a = Call(Ref("f"), (Ref("x"),))
+        b = rebuild(a)
+        assert a is not b
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unequal_values_stay_unequal(self):
+        assert Ref("x") != Ref("y")
+        assert Lam(("v",), Exit()) != Lam(("w",), Exit())
+
+    def test_deep_chain_hashes_without_recursion_blowup(self):
+        # eager (bottom-up) memoization: hashing a 3000-deep term must not
+        # recurse through the whole spine
+        body = Exit()
+        for i in range(3000):
+            body = Call(Ref(f"f{i}"), (Lam((f"v{i}",), body),))
+        assert isinstance(hash(body), int)
+
+    def test_pickle_strips_and_recomputes_the_memo(self):
+        # string hashes are per-process-randomized, so the memo must not
+        # travel in the pickle; the lazy fallback recomputes it on demand
+        node = Call(Ref("f"), (Ref("x"),))
+        assert _HASH_SLOT.encode() not in pickle.dumps(node)
+        clone = pickle.loads(pickle.dumps(node))
+        assert clone == node and hash(clone) == hash(node)
+
+    def test_hash_recomputed_when_memo_missing(self):
+        # the lazy fallback (e.g. instances materialized without __init__)
+        node = Ref("zz")
+        expected = hash(node)
+        object.__delattr__(node, _HASH_SLOT)
+        assert hash(node) == expected
+
+    def test_machine_states_and_addresses_are_cached_too(self):
+        state = inject(parse_cexp(MJ09_SRC))
+        addr = Binding("x", ("call-site",))
+        assert object.__getattribute__(state, _HASH_SLOT) == hash(state)
+        assert object.__getattribute__(addr, _HASH_SLOT) == hash(addr)
+
+    def test_pstate_eq_is_identity_fast_on_self(self):
+        state = PState(Exit(), pmap())
+        assert state == state
+
+
+class TestIntern:
+    def test_intern_canonicalizes_equal_values(self):
+        a = intern(Call(Ref("g"), (Ref("q"),)))
+        b = intern(rebuild(a))
+        assert a is b
+
+    def test_intern_keeps_distinct_values_distinct(self):
+        assert intern(Ref("only-a")) is not intern(Ref("only-b"))
+
+    def test_parser_interns_shared_subterms(self):
+        # the same source parsed twice yields pointer-identical trees
+        t1 = parse_cexp(MJ09_SRC)
+        t2 = parse_cexp(MJ09_SRC)
+        assert t1 is t2
+
+    def test_repeated_subterms_are_shared_within_one_parse(self):
+        term = parse_cexp("((lambda (x k) (k x)) (lambda (x k) (k x)) (lambda (r) (exit)))")
+        fun, arg = term.fun, term.args[0]
+        assert fun is arg
+
+    def test_pool_grows_monotonically(self):
+        before = intern_pool_size()
+        intern(Ref("fresh-pool-entry"))
+        assert intern_pool_size() >= before

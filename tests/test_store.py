@@ -1,11 +1,18 @@
-"""``StoreLike`` instances: basic and counting stores (paper 6.2-6.3)."""
+"""``StoreLike`` instances: basic, counting and versioned stores (6.2-6.3)."""
 
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.lattice import AbsNat
-from repro.core.store import BasicStore, CountingStore
+from repro.core.store import (
+    BasicStore,
+    CountingStore,
+    MutableStore,
+    RecordingStore,
+    VersionedStore,
+)
+from repro.util.pcollections import PMap
 
 values = st.frozensets(st.integers(0, 5), min_size=1, max_size=3)
 addrs = st.sampled_from(["a", "b", "c"])
@@ -154,3 +161,130 @@ class TestCountingStore:
             cs = counting.bind(cs, addr, d)
         for addr, _ in script:
             assert basic.fetch(bs, addr) == counting.fetch(cs, addr)
+
+
+class TestVersionedStore:
+    def setup_method(self):
+        self.s = VersionedStore()
+
+    def test_empty_fetch_is_bottom(self):
+        assert self.s.fetch(self.s.empty(), "a") == frozenset()
+        assert self.s.empty().version("a") == 0
+
+    def test_bind_mutates_in_place(self):
+        store = self.s.empty()
+        assert self.s.bind(store, "a", frozenset([1])) is store
+        assert self.s.fetch(store, "a") == frozenset([1])
+
+    def test_bind_bumps_version_and_logs_only_on_growth(self):
+        store = self.s.empty()
+        self.s.bind(store, "a", frozenset([1]))
+        assert store.version("a") == 1 and store.changelog == ["a"]
+        # a subset re-bind adds nothing: no bump, no log entry
+        self.s.bind(store, "a", frozenset([1]))
+        assert store.version("a") == 1 and store.changelog == ["a"]
+        self.s.bind(store, "a", frozenset([2]))
+        assert store.version("a") == 2 and store.changelog == ["a", "a"]
+        assert self.s.fetch(store, "a") == frozenset([1, 2])
+
+    def test_mark_and_changed_since(self):
+        store = self.s.empty()
+        self.s.bind(store, "a", frozenset([1]))
+        mark = store.mark()
+        self.s.bind(store, "a", frozenset([1]))  # no growth
+        assert store.changed_since(mark) == []
+        self.s.bind(store, "b", frozenset([2]))
+        self.s.bind(store, "a", frozenset([3]))
+        assert store.changed_since(mark) == ["b", "a"]
+
+    def test_replace_overwrites_and_bumps(self):
+        store = self.s.empty()
+        self.s.bind(store, "a", frozenset([1, 2]))
+        self.s.replace(store, "a", frozenset([9]))
+        assert self.s.fetch(store, "a") == frozenset([9])
+        assert store.version("a") == 2
+        # replacing with an equal value changes nothing
+        self.s.replace(store, "a", frozenset([9]))
+        assert store.version("a") == 2
+
+    def test_freeze_and_fetch_from_snapshot(self):
+        store = self.s.empty()
+        self.s.bind(store, "a", frozenset([1]))
+        snapshot = self.s.freeze(store)
+        assert isinstance(snapshot, PMap)
+        assert self.s.fetch(snapshot, "a") == frozenset([1])
+        assert self.s.fetch(snapshot, "missing") == frozenset()
+        assert set(self.s.addresses(snapshot)) == {"a"}
+
+    def test_thaw_copies(self):
+        store = self.s.empty()
+        self.s.bind(store, "a", frozenset([1]))
+        thawed = self.s.thaw(store)
+        assert thawed is not store
+        self.s.bind(thawed, "a", frozenset([2]))
+        assert self.s.fetch(store, "a") == frozenset([1])
+        # thawing a frozen snapshot works too
+        from_snapshot = self.s.thaw(self.s.freeze(store))
+        assert isinstance(from_snapshot, MutableStore)
+        assert self.s.fetch(from_snapshot, "a") == frozenset([1])
+
+    def test_filter_store(self):
+        store = self.s.empty()
+        self.s.bind(store, "a", frozenset([1]))
+        self.s.bind(store, "b", frozenset([2]))
+        filtered = self.s.filter_store(store, lambda addr: addr == "b")
+        assert set(self.s.addresses(filtered)) == {"b"}
+
+    @given(bind_scripts)
+    def test_freeze_agrees_with_basic_store(self, script):
+        basic = BasicStore()
+        versioned = VersionedStore()
+        bs, vs = basic.empty(), versioned.empty()
+        for addr, d in script:
+            bs = basic.bind(bs, addr, d)
+            versioned.bind(vs, addr, d)
+        assert versioned.freeze(vs) == bs
+
+    @given(bind_scripts)
+    def test_versions_are_monotone_and_track_growth(self, script):
+        versioned = VersionedStore()
+        store = versioned.empty()
+        history: dict = {}
+        for addr, d in script:
+            before_value = versioned.fetch(store, addr)
+            before_version = store.version(addr)
+            versioned.bind(store, addr, d)
+            after_value = versioned.fetch(store, addr)
+            # value sets only grow, versions never decrease
+            assert before_value <= after_value
+            assert store.version(addr) >= before_version
+            # the version bumps exactly when the value set changed
+            assert (store.version(addr) > before_version) == (
+                after_value != before_value
+            )
+            history[addr] = after_value
+        # the changelog length is the total number of value changes
+        assert store.mark() == sum(store.versions.values())
+
+
+class TestRecordingStoreBracketing:
+    def test_nested_begin_log_raises(self):
+        recorder = RecordingStore(BasicStore())
+        recorder.begin_log()
+        with pytest.raises(RuntimeError, match="already open"):
+            recorder.begin_log()
+        # the open bracket survives the failed reentry intact
+        recorder.bind(recorder.empty(), "a", frozenset([1]))
+        reads, writes = recorder.end_log()
+        assert writes == frozenset(["a"]) and reads == frozenset()
+
+    def test_sequential_brackets_are_fine(self):
+        recorder = RecordingStore(BasicStore())
+        sigma = recorder.empty()
+        recorder.begin_log()
+        sigma = recorder.bind(sigma, "a", frozenset([1]))
+        recorder.end_log()
+        recorder.begin_log()
+        recorder.fetch(sigma, "a")
+        reads, writes = recorder.end_log()
+        assert reads == frozenset(["a"]) and writes == frozenset()
