@@ -1,12 +1,17 @@
 """Record the engine-suite benchmark trajectory to ``BENCH_<n>.json``.
 
 Runs every fixed-point engine / store-impl combination over one workload
-per language and writes a machine-readable baseline, so each PR leaves a
-``BENCH_*.json`` behind and regressions are visible as a series rather
-than one-off pytest-benchmark artifacts::
+per language -- plus the abstract-GC workloads that became possible when
+GC was lifted onto the worklist engines -- and writes a machine-readable
+baseline, so each PR leaves a ``BENCH_*.json`` behind and regressions
+are visible as a series rather than one-off pytest-benchmark artifacts::
 
-    PYTHONPATH=src python benchmarks/record.py            # writes BENCH_2.json
+    PYTHONPATH=src python benchmarks/record.py            # writes BENCH_3.json
     PYTHONPATH=src python benchmarks/record.py --check    # also gate on speedup
+
+Every workload is assembled through :func:`repro.config.assemble` -- the
+benchmark harness exercises the same configuration layer as the CLI and
+the tests.
 
 The JSON shape (see PERFORMANCE.md for how to read it)::
 
@@ -20,12 +25,15 @@ The JSON shape (see PERFORMANCE.md for how to read it)::
           }, ...
         }, ...
       },
-      "speedups": { "<workload>": {"depgraph-versioned-over-kleene": float, ...} }
+      "speedups": { "<workload>": {"depgraph-versioned-over-kleene-persistent": float, ...} }
     }
 
 ``--check`` exits non-zero when the depgraph/versioned configuration is
 less than ``--min-speedup`` (default 2.0) times faster than kleene on
-any workload that runs both -- the CI regression gate.
+any workload that runs both -- the CI regression gate.  The ``*-gc``
+workloads put the Kleene+GC baseline against GC on the dependency-
+tracked engine, so the gate also enforces the "GC at worklist speed"
+claim.
 """
 
 from __future__ import annotations
@@ -35,12 +43,10 @@ import json
 import sys
 import time
 
-from repro.cesk.analysis import analyse_cesk_engine
+from repro.config import AnalysisConfig, assemble
 from repro.corpus.cps_programs import id_chain
 from repro.corpus.fj_programs import PROGRAMS as FJ_PROGRAMS
 from repro.corpus.lam_programs import PROGRAMS as LAM_PROGRAMS
-from repro.cps.analysis import analyse_with_engine
-from repro.fj.analysis import analyse_fj_engine
 
 #: Engine/store-impl combinations: kleene has no mutable-store variant.
 COMBINATIONS = (
@@ -51,6 +57,35 @@ COMBINATIONS = (
     ("depgraph", "versioned"),
 )
 
+#: The GC comparison: the old kleene-only baseline against the
+#: dependency-tracked engine on both store implementations.
+GC_COMBINATIONS = (
+    ("kleene", "persistent"),
+    ("depgraph", "persistent"),
+    ("depgraph", "versioned"),
+)
+
+
+def _runner(language: str, program, k: int = 1, gc: bool = False, counting: bool = False):
+    """A workload runner assembled through the configuration layer."""
+
+    def run(engine: str, impl: str, stats: dict):
+        config = AnalysisConfig(
+            language=language,
+            k=k,
+            gc=gc,
+            counting=counting,
+            engine=engine,
+            store_impl="persistent" if engine == "kleene" else impl,
+            label=f"bench-{language}-{engine}-{impl}",
+        )
+        analysis = assemble(config, program=program)
+        result = analysis.run(program)
+        stats.update(analysis.last_stats)
+        return result
+
+    return run
+
 
 def _workloads() -> dict:
     """Label -> (runner(engine, store_impl, stats) -> result, combos)."""
@@ -59,32 +94,26 @@ def _workloads() -> dict:
     church = LAM_PROGRAMS["church-two-two"]
     visitor = FJ_PROGRAMS["visitor"]
     return {
-        "cps-id-chain-30-k1": (
-            lambda engine, impl, stats: analyse_with_engine(
-                chain30, engine, k=1, stats=stats, store_impl=impl
-            ),
-            COMBINATIONS,
-        ),
-        "lam-church-two-two-k1": (
-            lambda engine, impl, stats: analyse_cesk_engine(
-                church, engine, k=1, stats=stats, store_impl=impl
-            ),
-            COMBINATIONS,
-        ),
-        "fj-visitor-k1": (
-            lambda engine, impl, stats: analyse_fj_engine(
-                visitor, engine, k=1, stats=stats, store_impl=impl
-            ),
-            COMBINATIONS,
-        ),
+        "cps-id-chain-30-k1": (_runner("cps", chain30), COMBINATIONS),
+        "lam-church-two-two-k1": (_runner("lam", church), COMBINATIONS),
+        "fj-visitor-k1": (_runner("fj", visitor), COMBINATIONS),
         # the scaling workload behind the headline speedup: the store
         # grows linearly with the chain, so the persistent path goes
         # quadratic; kleene and the blind worklist are far too slow here
         "cps-id-chain-200-k1": (
-            lambda engine, impl, stats: analyse_with_engine(
-                chain200, engine, k=1, stats=stats, store_impl=impl
-            ),
+            _runner("cps", chain200),
             (("depgraph", "persistent"), ("depgraph", "versioned")),
+        ),
+        # abstract GC at worklist speed vs the Kleene+GC baseline (the
+        # per-evaluation reachability sweep is the same; the worklist
+        # engines win by re-evaluating far fewer configurations)
+        "cps-id-chain-30-k1-gc": (_runner("cps", chain30, gc=True), GC_COMBINATIONS),
+        "lam-church-two-two-k1-gc": (_runner("lam", church, gc=True), GC_COMBINATIONS),
+        "fj-visitor-k1-gc": (_runner("fj", visitor, gc=True), GC_COMBINATIONS),
+        # counting at worklist speed (write-log saturation)
+        "cps-id-chain-30-k1-counting": (
+            _runner("cps", chain30, counting=True),
+            GC_COMBINATIONS,
         ),
     }
 
@@ -112,7 +141,7 @@ def run_suite() -> dict:
                 "configurations": stats.get("configurations"),
             }
             print(
-                f"{label:24s} {engine:>8s}/{impl:<10s} {seconds:8.3f}s "
+                f"{label:28s} {engine:>8s}/{impl:<10s} {seconds:8.3f}s "
                 f"evals={stats.get('evaluations', '-')}",
                 file=sys.stderr,
             )
@@ -129,7 +158,12 @@ def run_suite() -> dict:
 
 
 def check(record: dict, min_speedup: float) -> list[str]:
-    """The CI gate: depgraph/versioned must beat kleene by ``min_speedup``."""
+    """The CI gate: depgraph/versioned must beat kleene by ``min_speedup``.
+
+    Applies to every workload that ran both configurations, which
+    includes the ``*-gc`` rows -- so a regression in the worklist GC
+    path (against the Kleene+GC baseline) fails the build too.
+    """
     failures = []
     for label, speedups in record["speedups"].items():
         ratio = speedups.get("depgraph-versioned-over-kleene-persistent")
@@ -145,7 +179,7 @@ def check(record: dict, min_speedup: float) -> list[str]:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--output", default="BENCH_2.json", help="where to write the record")
+    parser.add_argument("--output", default="BENCH_3.json", help="where to write the record")
     parser.add_argument(
         "--check",
         action="store_true",

@@ -50,6 +50,17 @@ def main() -> None:
         "0CFA conflates the two uses of the identity (a and b each see 2\n"
         "lambdas); 1CFA distinguishes the call sites and is exact."
     )
+    print()
+
+    # the same analyses by name: the preset registry drives the CLI,
+    # the benchmarks and the tests through one assemble() entry point
+    from repro.cps.analysis import analyse
+
+    fast = analyse(preset="1cfa-gc").run(program)
+    print(
+        f"preset 1cfa-gc (depgraph engine, versioned store, abstract GC):\n"
+        f"  {fast.num_states()} states, store of {fast.store_size()} live addresses"
+    )
 
 
 if __name__ == "__main__":

@@ -15,18 +15,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable
 
+from repro.config import AnalysisConfig, assemble, build_config
 from repro.core.addresses import Addressable, Binding, KCFA, ZeroCFA
 from repro.core.collecting import PerStateStoreCollecting, SharedStoreCollecting
 from repro.core.driver import (
-    check_store_impl_scope,
-    prepare_engine_store,
     run_analysis,
     run_analysis_worklist,
     run_engine_analysis,
 )
 from repro.core.gc import MonadicStoreCollector
 from repro.core.monads import StorePassing
-from repro.core.store import BasicStore, CountingStore, StoreLike, unwrap_store
+from repro.core.store import CountingStore, StoreLike, unwrap_store
 from repro.cesk.machine import (
     ArgF,
     Clo,
@@ -248,32 +247,62 @@ class CESKAnalysisResult:
         return frozenset(s.ctrl.lam for s in self.final_states())
 
 
-def analyse_cesk(
-    addressing: Addressable,
-    store_like: StoreLike | None = None,
-    shared: bool = False,
-    gc: bool = False,
-    label: str = "",
-    engine: str | None = None,
-    store_impl: str = "persistent",
+def assemble_cesk(
+    config: AnalysisConfig, addressing: Addressable, store: StoreLike
 ) -> CESKAnalysis:
-    """Assemble a CESK analysis from the shared degrees of freedom."""
-    store = store_like or BasicStore()
-    check_store_impl_scope(engine, store_impl)
-    if engine is not None:
-        store = prepare_engine_store(engine, store, gc, store_impl)
-        shared = True
+    """Build a :class:`CESKAnalysis` from validated, prepared components.
+
+    Called by :func:`repro.config.assemble`; mirrors
+    :func:`repro.cps.analysis.assemble_cps` with the CESK interface and
+    the halt-frame-seeded collecting domains.
+    """
     interface = AbstractCESKInterface(addressing, store)
     collector = (
-        MonadicStoreCollector(interface.monad, store, CESKTouching()) if gc else None
+        MonadicStoreCollector(interface.monad, store, CESKTouching())
+        if config.gc
+        else None
     )
-    if shared:
+    if config.shared:
         collecting: Any = _SeededShared(interface, addressing.tau0(), collector)
     else:
         collecting = _SeededPerState(interface, addressing.tau0(), collector)
     return CESKAnalysis(
-        interface=interface, collecting=collecting, shared=shared, label=label, engine=engine
+        interface=interface,
+        collecting=collecting,
+        shared=config.shared,
+        label=config.label,
+        engine=config.engine,
     )
+
+
+def analyse_cesk(
+    addressing: Addressable | None = None,
+    store_like: StoreLike | None = None,
+    shared: bool | None = None,
+    gc: bool | None = None,
+    label: str = "",
+    engine: str | None = None,
+    store_impl: str | None = None,
+    preset: str | None = None,
+) -> CESKAnalysis:
+    """Assemble a CESK analysis from the shared degrees of freedom.
+
+    ``preset`` starts from :data:`repro.config.PRESETS` (e.g.
+    ``analyse_cesk(preset="1cfa-gc")``); other keywords override it.
+    All paths route through :func:`repro.config.assemble`.
+    """
+    config = build_config(
+        "lam",
+        preset=preset,
+        addressing=addressing,
+        store_like=store_like,
+        shared=shared,
+        gc=gc,
+        engine=engine,
+        store_impl=store_impl,
+        label=label,
+    )
+    return assemble(config, addressing=addressing, store_like=store_like)
 
 
 def analyse_cesk_kcfa(expr: Expr, k: int = 1, gc: bool = False) -> CESKAnalysisResult:

@@ -2,8 +2,9 @@
 
 ::
 
+    python -m repro analyze --list-presets
     python -m repro run     PROGRAM.cps  --lang cps
-    python -m repro analyze PROGRAM.lam  --lang lam --k 1 --gc
+    python -m repro analyze PROGRAM.lam  --preset 1cfa-gc
     python -m repro analyze PROGRAM.fj   --lang fj  --k 0 --check-casts
     python -m repro analyze PROGRAM.cps  --engine depgraph
 
@@ -11,15 +12,31 @@
 table and, where requested, counting/cast diagnostics.  The language
 defaults from the file extension (``.cps``, ``.lam``, ``.fj``).
 
-``--engine`` selects the fixed-point strategy over the global-store
-domain: ``kleene`` (whole-domain rounds), ``worklist`` (frontier-driven,
-dependency-blind) or ``depgraph`` (frontier-driven, re-evaluating only
-configurations whose store dependencies changed).  All three compute
-identical results; ``depgraph`` is the fast one.  ``--store-impl``
-picks the store representation behind the worklist engines:
-``persistent`` (immutable PMap snapshots) or ``versioned`` (one mutable
-store with per-address change versions -- O(delta) per evaluation, the
-fastest configuration; see PERFORMANCE.md).
+The recommended interface is ``--preset``: a named configuration from
+:data:`repro.config.PRESETS` (``--list-presets`` shows them all).  A
+preset fixes the addressing, engine, store implementation and the
+GC/counting refinements at once; any explicitly passed fine-grained
+flag (``--k``, ``--engine``, ``--store-impl``, ``--gc``, ``--counting``,
+``--shared``) then overrides that field of the preset.
+
+The fine-grained flags remain, one per degree of freedom:
+
+* ``--engine`` -- the fixed-point strategy over the global-store domain:
+  ``kleene`` (whole-domain rounds), ``worklist`` (frontier-driven,
+  dependency-blind) or ``depgraph`` (frontier-driven, re-evaluating only
+  configurations whose store dependencies changed).  All three compute
+  identical results; ``depgraph`` is the fast one.
+* ``--store-impl`` -- the store representation behind the worklist
+  engines: ``persistent`` (immutable PMap snapshots) or ``versioned``
+  (one mutable store with per-address change versions -- O(delta) per
+  evaluation, the fastest configuration; see PERFORMANCE.md).
+* ``--gc`` / ``--counting`` -- abstract garbage collection and counting;
+  both now compose with every engine (the worklist engines sweep
+  reachability per evaluation and saturate counts on convergence).
+
+Every combination is validated by
+:meth:`repro.config.AnalysisConfig.validated` before anything runs;
+invalid ones exit with the validation message.
 """
 
 from __future__ import annotations
@@ -90,57 +107,95 @@ def _assemble(thunk):
         raise SystemExit(str(error))
 
 
+def _print_presets() -> None:
+    from repro.config import list_presets
+
+    rows = [(name, summary, desc) for name, summary, desc in list_presets()]
+    print(fmt_table(["preset", "configuration", "description"], rows))
+
+
+def _resolve_config(args: argparse.Namespace, lang: str):
+    """The CLI flag surface as a validated :class:`AnalysisConfig`.
+
+    Without ``--preset`` the fine-grained flags are the whole story (with
+    the historical default of 1-CFA, monovariant when ``--k 0`` suits the
+    per-state CPS path).  With ``--preset`` the named config is the base
+    and only explicitly passed flags override its fields.
+    """
+    from repro.config import AnalysisConfig, build_config
+
+    k = 1 if args.k is None else args.k
+    if args.preset is not None:
+        from repro.core.store import CountingStore
+
+        # build_config owns the preset-override semantics (None = not
+        # passed); store_true flags can only assert, never un-set
+        config = _assemble(
+            lambda: build_config(
+                lang,
+                preset=args.preset,
+                store_like=CountingStore() if args.counting else None,
+                shared=True if args.shared else None,
+                gc=True if args.gc else None,
+                engine=args.engine,
+                store_impl=args.store_impl,
+            )
+        )
+        if args.k is not None:
+            config = config.replace(k=args.k)
+            if config.addressing not in ("kcfa", "lcontext", "boundednat"):
+                config = config.replace(addressing="kcfa")
+        return _assemble(config.validated)
+    addressing = (
+        "zerocfa"
+        if (lang == "cps" and k == 0 and not args.shared and args.engine is None)
+        else "kcfa"
+    )
+    config = AnalysisConfig(
+        language=lang,
+        addressing=addressing,
+        k=k,
+        widening="store" if (args.shared or args.engine is not None) else "none",
+        engine=args.engine,
+        store_impl=args.store_impl or "persistent",
+        gc=args.gc,
+        counting=args.counting,
+        label=args.preset or "",
+    )
+    return _assemble(config.validated)
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
+    if args.list_presets:
+        _print_presets()
+        return 0
+    if args.program is None:
+        raise SystemExit("analyze needs a program file (or --list-presets)")
+    from repro.config import assemble
+
     lang = detect_language(args.program, args.lang)
     source = read_source(args.program)
-    engine = args.engine
-    store_impl = args.store_impl
+    config = _resolve_config(args, lang)
 
     if lang == "cps":
-        from repro.core.store import CountingStore
-        from repro.core.addresses import KCFA, ZeroCFA
-        from repro.cps.analysis import analyse
         from repro.cps.parser import parse_program
 
         program = parse_program(source)
-        addressing = (
-            ZeroCFA() if args.k == 0 and not args.shared and engine is None else KCFA(args.k)
+        analysis = _assemble(lambda: assemble(config))
+        result, seconds = timed(
+            lambda: analysis.run(program, worklist=not config.shared)
         )
-        analysis = _assemble(
-            lambda: analyse(
-                addressing,
-                store_like=CountingStore() if args.counting else None,
-                shared=args.shared,
-                gc=args.gc,
-                engine=engine,
-                store_impl=store_impl,
-            )
-        )
-        result, seconds = timed(lambda: analysis.run(program, worklist=not args.shared))
         flows = result.flows_to()
     elif lang == "lam":
-        from repro.core.addresses import KCFA
-        from repro.core.store import CountingStore
-        from repro.cesk.analysis import analyse_cesk
         from repro.lam.parser import parse_expr
 
-        expr = parse_expr(source)
-        analysis = _assemble(
-            lambda: analyse_cesk(
-                KCFA(args.k),
-                store_like=CountingStore() if args.counting else None,
-                shared=args.shared,
-                gc=args.gc,
-                engine=engine,
-                store_impl=store_impl,
-            )
+        program = parse_expr(source)
+        analysis = _assemble(lambda: assemble(config))
+        result, seconds = timed(
+            lambda: analysis.run(program, worklist=not config.shared)
         )
-        result, seconds = timed(lambda: analysis.run(expr, worklist=not args.shared))
         flows = result.flows_to()
     else:
-        from repro.core.addresses import KCFA
-        from repro.core.store import CountingStore
-        from repro.fj.analysis import analyse_fj
         from repro.fj.class_table import ClassTable
         from repro.fj.parser import parse_program as parse_fj
         from repro.fj.typecheck import typecheck_program
@@ -149,18 +204,10 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         check = typecheck_program(program)
         for warning in check.warnings:
             print(f"warning: {warning}", file=sys.stderr)
-        analysis = _assemble(
-            lambda: analyse_fj(
-                program,
-                KCFA(args.k),
-                store_like=CountingStore() if args.counting else None,
-                shared=args.shared,
-                gc=args.gc,
-                engine=engine,
-                store_impl=store_impl,
-            )
+        analysis = _assemble(lambda: assemble(config, program=program))
+        result, seconds = timed(
+            lambda: analysis.run(program, worklist=not config.shared)
         )
-        result, seconds = timed(lambda: analysis.run(program, worklist=not args.shared))
         flows = result.class_flows()
         if args.check_casts:
             failures = result.possible_cast_failures(ClassTable.of(program))
@@ -174,14 +221,15 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     summary = precision_summary(flows)
     print(_flows_table(flows))
     print()
+    label = f"  preset: {args.preset}" if args.preset else ""
     print(
         f"states: {result.num_states()}  store: {result.store_size()}  "
-        f"mean flow: {summary['mean_flow']}  time: {seconds:.3f}s"
+        f"mean flow: {summary['mean_flow']}  time: {seconds:.3f}s{label}"
     )
-    if engine is not None and analysis.last_stats:
+    if config.engine is not None and analysis.last_stats:
         stats = analysis.last_stats
         print(
-            f"engine: {engine} ({store_impl})  "
+            f"engine: {config.engine} ({config.store_impl})  "
             f"evaluations: {stats.get('evaluations', '-')}  "
             f"retriggers: {stats.get('retriggers', '-')}"
         )
@@ -203,9 +251,22 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.set_defaults(fn=cmd_run)
 
     an_p = sub.add_parser("analyze", help="run an abstract interpretation")
-    an_p.add_argument("program", help="source file, or - for stdin")
+    an_p.add_argument(
+        "program", nargs="?", default=None, help="source file, or - for stdin"
+    )
     an_p.add_argument("--lang", choices=("cps", "lam", "fj"))
-    an_p.add_argument("--k", type=int, default=1, help="k-CFA context depth")
+    an_p.add_argument(
+        "--preset",
+        default=None,
+        help="named analysis configuration from repro.config.PRESETS "
+        "(see --list-presets); other flags override its fields",
+    )
+    an_p.add_argument(
+        "--list-presets",
+        action="store_true",
+        help="print the preset registry and exit",
+    )
+    an_p.add_argument("--k", type=int, default=None, help="k-CFA context depth")
     an_p.add_argument(
         "--engine",
         choices=("kleene", "worklist", "depgraph"),
@@ -217,7 +278,7 @@ def build_parser() -> argparse.ArgumentParser:
     an_p.add_argument(
         "--store-impl",
         choices=("persistent", "versioned"),
-        default="persistent",
+        default=None,
         help="store representation behind the worklist engines "
         "(persistent = immutable snapshots, versioned = mutable store "
         "with per-address change versions; needs --engine worklist|depgraph)",

@@ -1,0 +1,442 @@
+"""``repro.config``: declarative analysis assembly (the paper's thesis, reified).
+
+The paper's point is that an abstract interpreter is *assembled* from
+interchangeable pieces -- a monad stack, an address allocator, a store,
+optional GC/counting refinements, and a fixed-point strategy.  Until
+this module, each assembly lived in imperative keyword soup spread over
+three ``analyse*`` families, and the compatibility rules between the
+pieces were scattered checks.  Here the whole design space is one
+declarative record:
+
+* :class:`AnalysisConfig` -- a frozen dataclass naming every degree of
+  freedom (language, addressing/k, widening, engine, store
+  implementation, GC, counting), with :meth:`AnalysisConfig.validated`
+  as the single home of the compatibility rules (it subsumes the old
+  ``check_global_store_compat`` and ``check_store_impl_scope``);
+* :data:`PRESETS` -- a registry of named, validated configurations
+  (``concrete``, ``0cfa``, ``1cfa-gc``, ``kcfa-counting-fast``, ...),
+  the CLI's ``--preset``/``--list-presets`` vocabulary;
+* :func:`assemble` -- the single entry point turning a config (plus a
+  program, for Featherweight Java's class table) into a runnable
+  analysis object.  All three ``analyse*`` families, the CLI and the
+  benchmark harness route through it.
+
+The style follows CPAchecker's composite-CPA configuration files: small
+declarative modules naming a stack of components, validated before
+anything is built.
+
+Compatibility rules enforced by :meth:`AnalysisConfig.validated`:
+
+==========================  =============================================
+rule                        reason
+==========================  =============================================
+``versioned`` needs a       the store *implementation* only exists inside
+worklist engine             the global-store engines' loop
+``kleene`` rejects          kleene re-applies the functional to immutable
+``versioned``               whole-domain snapshots; a mutable store has
+                            identity, not history
+``concrete`` addressing     the reference semantics is per-state by
+rejects engines/widening    definition (6.1): widening it would change
+                            what every abstraction is compared against
+==========================  =============================================
+
+Abstract GC and counting compose with *every* engine since the engines
+learned to sweep reachability and saturate counts (see
+``repro/core/fixpoint.py``); the old kleene-only restriction is gone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as _dc_replace
+from typing import Any
+
+from repro.core.addresses import (
+    Addressable,
+    BoundedNat,
+    ConcreteAddressing,
+    KCFA,
+    LContext,
+    ZeroCFA,
+)
+from repro.core.driver import prepare_engine_store
+from repro.core.fixpoint import ENGINES, STORE_IMPLS
+from repro.core.store import ACounter, BasicStore, CountingStore, StoreLike
+
+#: The languages an :class:`AnalysisConfig` can target.
+LANGUAGES = ("cps", "lam", "fj")
+
+#: Named address-allocation policies (:mod:`repro.core.addresses`).
+#: ``custom`` stands for a caller-supplied :class:`Addressable` object.
+ADDRESSINGS = ("kcfa", "zerocfa", "concrete", "lcontext", "boundednat", "custom")
+
+#: Domain widenings: ``none`` keeps per-state stores (precise, possibly
+#: exponential, 6.5); ``store`` is Shivers' single-threaded store.
+WIDENINGS = ("none", "store")
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """One point in the paper's analysis design space, as plain data.
+
+    ``language`` may be left ``None`` in language-agnostic presets; it is
+    filled in by the ``analyse*`` family or the CLI that resolves the
+    preset.  ``k`` parameterizes whichever addressing scheme is named
+    (context depth for ``kcfa``/``lcontext``, the bound for
+    ``boundednat``); it is ignored by ``zerocfa`` and ``concrete``.
+    """
+
+    language: str | None = None
+    addressing: str = "kcfa"
+    k: int = 1
+    widening: str = "none"
+    engine: str | None = None
+    store_impl: str = "persistent"
+    gc: bool = False
+    counting: bool = False
+    label: str = ""
+
+    @property
+    def shared(self) -> bool:
+        """Whether the fixed-point domain is the store-widened one (6.5)."""
+        return self.widening == "store"
+
+    def replace(self, **overrides: Any) -> "AnalysisConfig":
+        """A copy with the given fields replaced (dataclasses.replace)."""
+        return _dc_replace(self, **overrides)
+
+    def validated(self) -> "AnalysisConfig":
+        """Normalize and check the configuration; raise ``ValueError`` if bad.
+
+        This is the single home of every compatibility rule the analyses
+        used to enforce piecemeal (the module docstring tabulates them).
+        Normalization: selecting an engine implies the store widening,
+        since the engines are strategies over the widened domain.
+        """
+        config = self
+        if config.engine is not None and config.widening != "store":
+            config = config.replace(widening="store")
+        if config.language is not None and config.language not in LANGUAGES:
+            raise ValueError(
+                f"unknown language {config.language!r}; choose one of {LANGUAGES}"
+            )
+        if config.addressing not in ADDRESSINGS:
+            raise ValueError(
+                f"unknown addressing {config.addressing!r}; choose one of {ADDRESSINGS}"
+            )
+        if config.widening not in WIDENINGS:
+            raise ValueError(
+                f"unknown widening {config.widening!r}; choose one of {WIDENINGS}"
+            )
+        if config.k < 0:
+            raise ValueError("k must be non-negative")
+        if config.engine is not None and config.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {config.engine!r}; choose one of {ENGINES}"
+            )
+        if config.store_impl not in STORE_IMPLS:
+            raise ValueError(
+                f"unknown store impl {config.store_impl!r}; choose one of {STORE_IMPLS}"
+            )
+        if config.store_impl != "persistent" and config.engine is None:
+            raise ValueError(
+                "store_impl selects a global-store engine representation; "
+                "pass engine='worklist' or engine='depgraph' with it"
+            )
+        if config.engine == "kleene" and config.store_impl == "versioned":
+            raise ValueError(
+                "the kleene engine iterates immutable whole-domain snapshots; "
+                "the versioned (mutable) store pairs with the worklist engines"
+            )
+        if config.addressing == "concrete" and (
+            config.engine is not None or config.widening != "none"
+        ):
+            raise ValueError(
+                "concrete addressing is the per-state reference semantics; "
+                "it takes neither an engine nor the store widening"
+            )
+        return config
+
+    def describe(self) -> str:
+        """A compact one-line rendering (preset listings, labels)."""
+        parts = [self.addressing if self.addressing != "kcfa" else f"{self.k}cfa"]
+        parts.append("per-state" if self.widening == "none" else "shared-store")
+        if self.engine:
+            parts.append(f"{self.engine}/{self.store_impl}")
+        if self.gc:
+            parts.append("gc")
+        if self.counting:
+            parts.append("counting")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class Preset:
+    """A named, documented point in the design space."""
+
+    name: str
+    config: AnalysisConfig
+    description: str
+
+
+def _preset(name: str, description: str, **fields: Any) -> Preset:
+    return Preset(
+        name=name,
+        config=AnalysisConfig(label=name, **fields).validated(),
+        description=description,
+    )
+
+
+#: The named-configuration registry (CLI ``--preset`` / ``--list-presets``).
+#: ``*-fast`` and the plain ``0cfa``/``1cfa``/``2cfa`` presets run on the
+#: dependency-tracked engine over the versioned store -- the fastest
+#: configuration -- and are corpus-equal to their Kleene counterparts
+#: (tests/test_config.py).
+PRESETS: dict[str, Preset] = {
+    preset.name: preset
+    for preset in (
+        _preset(
+            "concrete",
+            "reference concrete collecting semantics (unique addresses)",
+            addressing="concrete",
+        ),
+        _preset(
+            "0cfa",
+            "monovariant global-store analysis, depgraph engine + versioned store",
+            addressing="zerocfa",
+            engine="depgraph",
+            store_impl="versioned",
+        ),
+        _preset(
+            "1cfa",
+            "1-CFA over the global store, depgraph engine + versioned store",
+            k=1,
+            engine="depgraph",
+            store_impl="versioned",
+        ),
+        _preset(
+            "2cfa",
+            "2-CFA over the global store, depgraph engine + versioned store",
+            k=2,
+            engine="depgraph",
+            store_impl="versioned",
+        ),
+        _preset(
+            "1cfa-gc",
+            "1-CFA with abstract GC at worklist speed (depgraph + versioned)",
+            k=1,
+            gc=True,
+            engine="depgraph",
+            store_impl="versioned",
+        ),
+        _preset(
+            "1cfa-gc-kleene",
+            "1-CFA with abstract GC on whole-domain Kleene rounds (baseline)",
+            k=1,
+            gc=True,
+            engine="kleene",
+        ),
+        _preset(
+            "kcfa-counting-fast",
+            "1-CFA with an abstract counting store at worklist speed",
+            k=1,
+            counting=True,
+            engine="depgraph",
+            store_impl="versioned",
+        ),
+        _preset(
+            "1cfa-counting-kleene",
+            "1-CFA with an abstract counting store on Kleene rounds (baseline)",
+            k=1,
+            counting=True,
+            engine="kleene",
+        ),
+        _preset(
+            "1cfa-per-state",
+            "1-CFA with per-state stores (precise, potentially exponential)",
+            k=1,
+        ),
+        _preset(
+            "1cfa-gc-per-state",
+            "1-CFA with per-state stores and abstract GC (sharpest flows)",
+            k=1,
+            gc=True,
+        ),
+        _preset(
+            "1cfa-counting-per-state",
+            "1-CFA with per-state counting stores (sharp must-alias counts)",
+            k=1,
+            counting=True,
+        ),
+    )
+}
+
+
+def preset_config(name: str, language: str | None = None) -> AnalysisConfig:
+    """Resolve a preset name to its config, optionally fixing the language."""
+    try:
+        preset = PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(PRESETS))
+        raise ValueError(f"unknown preset {name!r}; choose one of: {known}") from None
+    config = preset.config
+    if language is not None:
+        config = config.replace(language=language)
+    return config
+
+
+def list_presets() -> list[tuple[str, str, str]]:
+    """``(name, configuration summary, description)`` rows for display."""
+    return [
+        (name, preset.config.describe(), preset.description)
+        for name, preset in PRESETS.items()
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Assembly
+# ---------------------------------------------------------------------------
+
+
+def make_addressing(config: AnalysisConfig) -> Addressable:
+    """Build the :class:`Addressable` a config names (6.1)."""
+    if config.addressing == "kcfa":
+        return KCFA(config.k)
+    if config.addressing == "zerocfa":
+        return ZeroCFA()
+    if config.addressing == "concrete":
+        return ConcreteAddressing()
+    if config.addressing == "lcontext":
+        return LContext(config.k)
+    if config.addressing == "boundednat":
+        return BoundedNat(config.k)
+    raise ValueError(
+        "addressing 'custom' needs an explicit Addressable passed to assemble()"
+    )
+
+
+def classify_addressing(addressing: Addressable) -> tuple[str, int]:
+    """Map an :class:`Addressable` object back to a config ``(name, k)``."""
+    if isinstance(addressing, KCFA):
+        return "kcfa", addressing.k
+    if isinstance(addressing, ZeroCFA):
+        return "zerocfa", 0
+    if isinstance(addressing, ConcreteAddressing):
+        return "concrete", 0
+    if isinstance(addressing, LContext):
+        return "lcontext", addressing.depth
+    if isinstance(addressing, BoundedNat):
+        return "boundednat", addressing.n
+    return "custom", 0
+
+
+def build_config(
+    language: str,
+    preset: str | None = None,
+    addressing: Addressable | None = None,
+    store_like: StoreLike | None = None,
+    shared: bool | None = None,
+    gc: bool | None = None,
+    engine: str | None = None,
+    store_impl: str | None = None,
+    label: str = "",
+) -> AnalysisConfig:
+    """The keyword-argument surface of the ``analyse*`` families, as a config.
+
+    ``None`` means "not passed" for every override.  With ``preset`` the
+    named configuration is the starting point and only passed keywords
+    override it: ``analyse(preset="1cfa-gc")`` is exactly the preset,
+    ``analyse(preset="1cfa-gc", engine="worklist")`` swaps the engine,
+    and ``analyse(preset="1cfa", engine="kleene",
+    store_impl="persistent")`` pairs a versioned preset back with the
+    kleene engine.  Objects passed for ``addressing``/``store_like`` are
+    classified into the record; :func:`assemble` will use the objects
+    themselves.  This is the single home of the preset-override
+    semantics -- the CLI routes through it too.
+    """
+    if preset is not None:
+        config = preset_config(preset, language)
+        if addressing is not None:
+            name, k = classify_addressing(addressing)
+            config = config.replace(addressing=name, k=k)
+        if store_like is not None:
+            config = config.replace(counting=isinstance(store_like, ACounter))
+        if shared is not None:
+            config = config.replace(widening="store" if shared else "none")
+        if gc is not None:
+            config = config.replace(gc=gc)
+        if engine is not None:
+            config = config.replace(engine=engine)
+        if store_impl is not None:
+            config = config.replace(store_impl=store_impl)
+        if label:
+            config = config.replace(label=label)
+        return config.validated()
+    if addressing is None:
+        raise ValueError("pass an Addressable (or a preset name) to assemble from")
+    name, k = classify_addressing(addressing)
+    return AnalysisConfig(
+        language=language,
+        addressing=name,
+        k=k,
+        widening="store" if (shared or engine is not None) else "none",
+        engine=engine,
+        store_impl=store_impl or "persistent",
+        gc=bool(gc),
+        counting=isinstance(store_like, ACounter),
+        label=label,
+    ).validated()
+
+
+def prepare_store(
+    config: AnalysisConfig, store_like: StoreLike | None = None
+) -> StoreLike:
+    """The config's store, readied for its engine (wrapping included)."""
+    store = store_like or (CountingStore() if config.counting else BasicStore())
+    if config.engine is not None:
+        store = prepare_engine_store(
+            config.engine, store, config.gc, config.store_impl
+        )
+    return store
+
+
+def assemble(
+    config: AnalysisConfig,
+    program: Any = None,
+    addressing: Addressable | None = None,
+    store_like: StoreLike | None = None,
+):
+    """``assemble(config) -> Analysis``: the single assembly entry point.
+
+    Validates the config, builds (or accepts) the addressing and store
+    components, prepares the store for the configured engine, and hands
+    the pieces to the language assembler.  ``program`` is required for
+    Featherweight Java (the interface carries the class table) and
+    ignored otherwise.  The returned object is the language's analysis
+    type (``CPSAnalysis``/``CESKAnalysis``/``FJAnalysis``) -- run it
+    with ``.run(program)``.
+    """
+    config = config.validated()
+    if config.language is None:
+        raise ValueError("the config names no language; set language= first")
+    addressing = addressing if addressing is not None else make_addressing(config)
+    store = prepare_store(config, store_like)
+    # language modules import repro.config at module level; importing them
+    # lazily here keeps the dependency acyclic
+    if config.language == "cps":
+        from repro.cps.analysis import assemble_cps
+
+        return assemble_cps(config, addressing, store)
+    if config.language == "lam":
+        from repro.cesk.analysis import assemble_cesk
+
+        return assemble_cesk(config, addressing, store)
+    from repro.fj.analysis import assemble_fj_from_config
+
+    if program is None:
+        raise ValueError("assembling an FJ analysis needs the program (class table)")
+    return assemble_fj_from_config(config, addressing, store, program)
+
+
+def analyse_preset(preset: str, language: str, program: Any = None):
+    """Convenience: resolve a preset for a language and assemble it."""
+    return assemble(preset_config(preset, language), program=program)

@@ -25,12 +25,17 @@ from repro.core.fixpoint import (
     ENGINES,
     STORE_IMPLS,
     Collecting,
-    check_global_store_compat,
     explore_fp,
     global_store_explore,
     worklist_explore,
 )
-from repro.core.store import ACounter, RecordingStore, StoreLike, VersionedStore
+from repro.core.store import (
+    ACounter,
+    RecordingStore,
+    StoreLike,
+    VersionedCountingStore,
+    VersionedStore,
+)
 
 
 def run_analysis(
@@ -56,19 +61,6 @@ def run_analysis_worklist(
     )
 
 
-def check_store_impl_scope(engine: str | None, store_impl: str) -> None:
-    """Reject a non-default ``store_impl`` without a global-store engine.
-
-    Shared by the three language assemblers so the rule (and its
-    wording) has one home next to :data:`~repro.core.fixpoint.STORE_IMPLS`.
-    """
-    if engine is None and store_impl != "persistent":
-        raise ValueError(
-            "store_impl selects a global-store engine representation; "
-            "pass engine='worklist' or engine='depgraph' with it"
-        )
-
-
 def prepare_engine_store(
     engine: str,
     store_like: StoreLike,
@@ -77,29 +69,28 @@ def prepare_engine_store(
 ) -> StoreLike:
     """Validate an engine selection and ready its store (all three languages).
 
-    Abstract GC filters the store relative to a single configuration,
-    which is unsound against a global store shared by every
-    configuration, so only the kleene engine (which keeps the paper's
-    per-round ``alpha . applyStep' . gamma`` structure) may combine with
-    it.  Counting stores are rejected for the same family of reasons:
-    abstract counts are only sound when every abstract transition
-    re-bumps them, and the worklist engines exist precisely to *skip*
-    re-evaluations, so a loop allocating through one configuration would
-    keep a count of ONE and fabricate must-alias facts.
-
     ``store_impl`` picks the store representation behind the worklist
     engines (:data:`~repro.core.fixpoint.STORE_IMPLS`): ``persistent``
     keeps the given PMap-backed store; ``versioned`` swaps in a
-    :class:`~repro.core.store.VersionedStore` over the same value
-    lattice, whose mutable element and per-address change versions let
-    the engine do O(delta) work per evaluation.  The kleene engine
-    iterates over immutable whole-domain snapshots, so it pairs only
-    with ``persistent``; counting stores have no versioned counterpart
-    (they are kleene-only anyway).
+    :class:`~repro.core.store.VersionedStore` (or
+    :class:`~repro.core.store.VersionedCountingStore` when the given
+    store counts) over the same value lattice, whose mutable element and
+    per-address change versions let the engine do O(delta) work per
+    evaluation.  The kleene engine iterates over immutable whole-domain
+    snapshots, so it pairs only with ``persistent``.
 
-    For the ``depgraph`` engine the store is wrapped in a
-    :class:`~repro.core.store.RecordingStore` so the fixed-point loop
-    can observe each configuration's read/write footprint.
+    The store is wrapped in a :class:`~repro.core.store.RecordingStore`
+    whenever the fixed-point loop consumes the evaluation's read/write
+    footprint: for the ``depgraph`` engine (dependency tracking,
+    including the GC sweep's reads) and for counting stores (the write
+    log decides which counts to saturate on convergence).  The blind
+    ``worklist`` engine never reads the log, so plain and GC'd worklist
+    runs skip the wrapper and its per-operation overhead.
+
+    Policy questions -- *which* engine/GC/counting combinations make a
+    sensible analysis -- live in
+    :meth:`repro.config.AnalysisConfig.validated`; this helper only
+    refuses setups the engines cannot execute at all.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; choose one of {ENGINES}")
@@ -107,21 +98,18 @@ def prepare_engine_store(
         raise ValueError(
             f"unknown store impl {store_impl!r}; choose one of {STORE_IMPLS}"
         )
-    if engine != "kleene":
-        check_global_store_compat(gc=gc, counting=isinstance(store_like, ACounter))
+    counting = isinstance(store_like, ACounter)
     if store_impl == "versioned":
         if engine == "kleene":
             raise ValueError(
                 "the kleene engine iterates immutable whole-domain snapshots; "
                 "the versioned (mutable) store pairs with the worklist engines"
             )
-        if isinstance(store_like, ACounter):
-            raise ValueError(
-                "counting stores have no versioned counterpart (counting is "
-                "kleene-only, and the versioned store backs worklist engines)"
-            )
-        store_like = VersionedStore(store_like.value_lattice)
-    if engine == "depgraph":
+        if counting:
+            store_like = VersionedCountingStore(store_like.value_lattice)
+        else:
+            store_like = VersionedStore(store_like.value_lattice)
+    if engine == "depgraph" or (engine != "kleene" and counting):
         return RecordingStore(store_like)
     return store_like
 

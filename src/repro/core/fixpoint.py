@@ -23,7 +23,8 @@ interface and the monad.  This module provides
   worklist instead of whole-domain Kleene rounds, optionally with
   per-configuration dependency tracking so that a store change only
   re-evaluates the configurations that actually read a changed address.
-  Against a :class:`~repro.core.store.VersionedStore` the same engine
+  Against a :class:`~repro.core.store.VersionedStore` (or
+  :class:`~repro.core.store.VersionedCountingStore`) the same engine
   runs its O(delta) loop: one mutable store, growth read off a
   changelog, no persistent-map joins on the hot path.
 
@@ -34,6 +35,58 @@ by :data:`ENGINES`: ``kleene`` (whole-domain rounds), ``worklist``
 the same least fixed point -- chaotic iteration of a monotone functional
 is order-insensitive -- which the engine-equivalence test suite checks
 across all three languages.
+
+Two precision refinements that used to be Kleene-only run on the
+worklist engines as well:
+
+* **abstract GC** (6.4): on the persistent path each branch's result
+  store arrives already swept (the collector is woven into the monadic
+  step), so joining result stores into the global store is exactly the
+  grow-only image of the Kleene+GC iteration -- which is monotone on
+  every corpus program, hence the same least fixed point.  On the
+  versioned path writes cannot land in the shared mutable store
+  directly (dead bindings would leak into every configuration's view),
+  so each evaluation runs against a
+  :class:`~repro.core.store.GCOverlay`; the engine then sweeps
+  reachability from every successor state and merges only the live
+  writes.  The sweep happens *inside* the read-log bracket: its fetches
+  -- including fetches of addresses first bound during this very
+  evaluation -- are dependency roots, so a GC'd-then-rebound address
+  retriggers exactly the configurations whose reachable set it can
+  enlarge.
+* **abstract counting** (6.3): at the Kleene fixed point every
+  step-written address has count MANY (the confirming round re-binds it
+  once more), so the engine tracks the written-address set through the
+  recording store's write log and saturates those counts once, after
+  convergence -- the identical fixed point without the re-evaluations.
+
+## The versioning invariant (what the O(delta) loop relies on)
+
+A :class:`~repro.core.store.MutableStore` bumps ``versions[addr]`` and
+appends ``addr`` to its ``changelog`` exactly when the value set at
+``addr`` changes; value sets only grow (binds are joins).  Therefore
+``mark()``/``changed_since(mark)`` bracket an evaluation's store growth
+precisely, and "nothing changed" is an integer comparison.  The
+``kleene`` engine is incompatible with this representation -- it
+re-applies the functional to immutable whole-domain snapshots and needs
+earlier iterates to remain observable, while a mutable store has
+identity, not history -- which is why ``kleene`` + ``versioned`` is
+rejected at assembly time (see
+:func:`repro.core.driver.prepare_engine_store` and
+:meth:`repro.config.AnalysisConfig.validated`).
+
+## The read/write-log bracketing protocol
+
+The dependency-tracked paths wrap the store in a
+:class:`~repro.core.store.RecordingStore` and bracket each evaluation
+with ``begin_log``/``end_log``.  Everything that must influence
+re-triggering has to happen inside the bracket: the monadic step, the
+woven-in GC sweep (persistent path) and the engine-side GC sweep
+(versioned path).  ``end_log`` runs in a ``finally`` so a raising step
+cannot leave the log open (``begin_log`` refuses re-entry), and the
+returned ``(reads, writes)`` are consumed immediately: reads feed the
+dependency map, writes feed growth detection and the counting
+saturation set.
 """
 
 from __future__ import annotations
@@ -41,8 +94,16 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, Hashable, Iterable
 
+from repro.core.gc import reachable_addresses
 from repro.core.lattice import Lattice
-from repro.core.store import ACounter, RecordingStore, VersionedStore, unwrap_store
+from repro.core.store import (
+    ACounter,
+    GCOverlay,
+    RecordingStore,
+    VersionedCountingStore,
+    VersionedStore,
+    unwrap_store,
+)
 
 #: The interchangeable fixed-point strategies over the global-store domain.
 ENGINES = ("kleene", "worklist", "depgraph")
@@ -55,21 +116,26 @@ ENGINES = ("kleene", "worklist", "depgraph")
 STORE_IMPLS = ("persistent", "versioned")
 
 
-def check_global_store_compat(gc: bool, counting: bool) -> None:
-    """The single source of the global-store engines' compatibility rules.
+def check_engine_support(
+    store_like: Any, gc: bool = False, counting: bool = False
+) -> None:
+    """Mechanical requirements of the raw global-store engine.
 
-    Raised both at assembly time (driver) and by the raw engine, so the
-    two layers cannot drift.
+    Policy-level compatibility (which engine/store/GC/counting
+    combinations an *analysis* may be assembled from) lives in
+    :meth:`repro.config.AnalysisConfig.validated`; this check only
+    guards direct engine use against setups the loop cannot execute:
+    counting needs the write log, because it decides which counts to
+    saturate on convergence.  (GC does not: the persistent path weaves
+    the collector into the step, and the versioned path's engine-side
+    sweep only needs the recorder when dependency tracking is on --
+    which the ``track_deps`` guard already enforces.)
     """
-    if gc:
-        raise ValueError(
-            "abstract GC filters the store per configuration; only the kleene "
-            "engine supports it"
-        )
-    if counting:
-        raise ValueError(
-            "abstract counting needs every transition re-evaluated to stay "
-            "sound; only the kleene engine supports counting stores"
+    recorder = store_like if isinstance(store_like, RecordingStore) else None
+    if counting and recorder is None:
+        raise TypeError(
+            "counting on the global-store engines needs a RecordingStore-"
+            "wrapped store: the write log decides which counts to saturate"
         )
 
 
@@ -265,26 +331,33 @@ def global_store_explore(
     Two store representations back the loop (:data:`STORE_IMPLS`): with a
     persistent store the engine joins result stores through the store
     lattice and compares growth address-by-address; when the collecting
-    domain's store is a :class:`~repro.core.store.VersionedStore` the
-    engine switches to :func:`_versioned_explore`, which mutates one
-    shared store in place and reads growth off its changelog in O(delta).
+    domain's store is a :class:`~repro.core.store.VersionedStore` (or
+    :class:`~repro.core.store.VersionedCountingStore`) the engine
+    switches to :func:`_versioned_explore`, which mutates one shared
+    store in place and reads growth off its changelog in O(delta).
     Either way the returned store is an immutable PMap and the fixed
     point is identical (checked across the corpus by the store-impl
     equivalence tests).
+
+    Abstract GC and counting compose with both representations: on this
+    (persistent) path GC arrives pre-woven into the step (each branch's
+    result store is already swept, so the joins below only ever admit
+    live bindings), and counting stores have their step-written counts
+    saturated after convergence (see the module docstring for why that
+    reproduces the Kleene counting fixed point exactly).
     """
     inner = collecting.inner
     store_like = inner.store_like
     base_store = unwrap_store(store_like)
-    check_global_store_compat(
-        gc=getattr(inner, "collector", None) is not None,
-        counting=isinstance(base_store, ACounter),
-    )
+    counting = isinstance(base_store, ACounter)
+    gc_on = getattr(inner, "collector", None) is not None
+    check_engine_support(store_like, gc=gc_on, counting=counting)
     recorder = store_like if isinstance(store_like, RecordingStore) else None
     if track_deps and recorder is None:
         raise TypeError(
             "dependency tracking needs the collecting domain's store to be a RecordingStore"
         )
-    if isinstance(base_store, VersionedStore):
+    if isinstance(base_store, (VersionedStore, VersionedCountingStore)):
         return _versioned_explore(
             collecting,
             step,
@@ -297,6 +370,7 @@ def global_store_explore(
         )
     store_lattice = store_like.lattice()
     value_lattice = store_like.value_lattice
+    use_log = recorder is not None
 
     seed_configs, seed_store = collecting.inject(initial_state)
     global_store = seed_store
@@ -304,6 +378,7 @@ def global_store_explore(
     worklist: deque = deque(seen)
     queued: set = set(seen)
     deps: dict = {}
+    written_all: set = set()
     evals = 0
     retriggers = 0
 
@@ -316,7 +391,7 @@ def global_store_explore(
                 f"no fixed point within {max_evals} configuration evaluations"
             )
 
-        if track_deps:
+        if use_log:
             recorder.begin_log()
             try:
                 results = inner.run_config(step, (config, global_store))
@@ -324,8 +399,11 @@ def global_store_explore(
                 # always close the bracket: a step that raises must not
                 # leave the recorder logging (begin_log refuses reentry)
                 reads, writes = recorder.end_log()
-            for addr in reads:
-                deps.setdefault(addr, set()).add(config)
+            if track_deps:
+                for addr in reads:
+                    deps.setdefault(addr, set()).add(config)
+            if counting:
+                written_all |= writes
         else:
             results = inner.run_config(step, (config, global_store))
 
@@ -343,7 +421,8 @@ def global_store_explore(
         if track_deps:
             # re-enqueue only the readers of addresses whose value set grew;
             # the comparison goes through ``fetch`` because that is all a
-            # re-evaluation can observe
+            # re-evaluation can observe (counting stores: count-only drift
+            # is invisible to fetch, so it never retriggers)
             for addr in writes:
                 old_d = store_like.fetch(global_store, addr)
                 new_d = store_like.fetch(new_store, addr)
@@ -363,6 +442,8 @@ def global_store_explore(
                     retriggers += 1
         global_store = new_store
 
+    if counting:
+        global_store = base_store.saturate(global_store, written_all)
     if stats is not None:
         stats.update(
             evaluations=evals,
@@ -371,6 +452,33 @@ def global_store_explore(
             tracked_addresses=len(deps),
         )
     return (frozenset(seen), global_store)
+
+
+def _successor_live_addresses(
+    sweep_like: Any, overlay: Any, pairs: Iterable, touching: Any
+) -> set:
+    """Addresses reachable from any successor state, swept over ``overlay``.
+
+    This is the engine-side image of the paper's ``Gamma`` (6.4): one
+    reachability closure per successor, unioned.  The sweep goes through
+    ``sweep_like`` -- the :class:`~repro.core.store.RecordingStore` when
+    dependency tracking is on -- so every address it fetches lands in
+    the open read log.  That includes addresses *bound after the log
+    opened* (this evaluation's own writes, visible through the overlay):
+    missing those reads would leave the dependency map without the GC
+    roots, and a configuration whose reachable set grows through such an
+    address would never be retriggered.
+    """
+    # reachability distributes over root unions, so one closure over the
+    # union of every successor's roots equals the per-successor sweeps
+    # at a fraction of the cost (each address is visited once, not once
+    # per successor that reaches it)
+    roots: set = set()
+    for pstate, _guts in pairs:
+        roots |= touching.touched_by_state(pstate)
+    return set(
+        reachable_addresses(sweep_like, overlay, roots, touching.touched_by_value)
+    )
 
 
 def _versioned_explore(
@@ -396,16 +504,34 @@ def _versioned_explore(
     * "which readers to retrigger" walks only ``changed_since(mark)``,
       the addresses whose value sets actually grew.
 
+    With abstract GC the shared store cannot take writes directly; each
+    evaluation instead runs against a
+    :class:`~repro.core.store.GCOverlay` and the engine merges only the
+    writes reachable from some successor state (the sweep happens inside
+    the read-log bracket -- see :func:`_successor_live_addresses`).  The
+    merge's version bumps are exactly what retriggers the readers of a
+    GC'd-then-rebound address.  With a counting store, step-written
+    counts are saturated after convergence (module docstring).
+
     The result is frozen back to a PMap, so callers see the exact shape
     (and value) the persistent path produces.
     """
     inner = collecting.inner
+    collector = getattr(inner, "collector", None)
+    gc_on = collector is not None
+    counting = isinstance(base_store, ACounter)
+    if gc_on:
+        touching = collector.touching
+        sweep_like = recorder if recorder is not None else base_store
+    use_log = recorder is not None
+
     seed_configs, seed_store = collecting.inject(initial_state)
     mstore = base_store.thaw(seed_store)
     seen: set = set(seed_configs)
     worklist: deque = deque(seen)
     queued: set = set(seen)
     deps: dict = {}
+    written_all: set = set()
     evals = 0
     retriggers = 0
 
@@ -419,18 +545,39 @@ def _versioned_explore(
             )
 
         mark = mstore.mark()
-        if track_deps:
+        run_store = GCOverlay(mstore) if gc_on else mstore
+        if use_log:
             recorder.begin_log()
             try:
-                pairs = inner.run_config_pairs(step, (config, mstore))
+                pairs = inner.run_config_pairs(
+                    step, (config, run_store), instrument=False
+                )
+                if gc_on:
+                    # the sweep must stay inside the bracket: its reads
+                    # (even of addresses bound after the log opened) are
+                    # the GC roots of the dependency map
+                    live = _successor_live_addresses(
+                        sweep_like, run_store, pairs, touching
+                    )
             finally:
                 # always close the bracket: a step that raises must not
                 # leave the recorder logging (begin_log refuses reentry)
-                reads, _writes = recorder.end_log()
-            for addr in reads:
-                deps.setdefault(addr, set()).add(config)
+                reads, writes = recorder.end_log()
+            if track_deps:
+                for addr in reads:
+                    deps.setdefault(addr, set()).add(config)
+            if counting:
+                written_all |= writes
         else:
-            pairs = inner.run_config_pairs(step, (config, mstore))
+            pairs = inner.run_config_pairs(step, (config, run_store), instrument=False)
+            if gc_on:
+                live = _successor_live_addresses(sweep_like, run_store, pairs, touching)
+
+        if gc_on:
+            # merge the live writes; dead bindings never reach the store
+            for addr, entry in run_store.written().items():
+                if addr in live:
+                    base_store.merge_entry(mstore, addr, entry)
 
         for pair in pairs:
             if pair not in seen:
@@ -455,6 +602,8 @@ def _versioned_explore(
                     worklist.append(reader)
                     retriggers += 1
 
+    if counting:
+        base_store.saturate(mstore, written_all)
     if stats is not None:
         stats.update(
             evaluations=evals,

@@ -14,7 +14,7 @@ store co-domain ``d``.  Here a :class:`StoreLike` object carries its
 value-set lattice and exposes the store-set lattice (needed by the
 store-sharing Galois connection of 6.5).
 
-Three instances:
+Four instances:
 
 * :class:`BasicStore` -- ``a :-> P(Val)``, the plain join-on-bind store;
 * :class:`VersionedStore` -- the same co-domain over an engine-owned
@@ -23,7 +23,12 @@ Three instances:
 * :class:`CountingStore` -- ``a :-> (P(Val), AbsNat)``: every binding also
   tracks how many times its address has been allocated, in the abstract
   naturals ``{0,1,inf}`` (6.3).  The :class:`ACounter` mix-in exposes the
-  counts; a count of 1 licenses *strong updates* via :meth:`StoreLike.update`.
+  counts; a count of 1 licenses *strong updates* via :meth:`StoreLike.update`;
+* :class:`VersionedCountingStore` -- the counting co-domain over a
+  :class:`MutableStore`, so abstract counting runs on the worklist
+  engines' O(delta) loop too (the engine saturates step-written counts
+  on convergence, reproducing the Kleene counting fixed point -- see
+  :func:`repro.core.fixpoint.global_store_explore`).
 
 Because the store is parameterized over addresses and value sets, these
 instances are reused untouched by all three language definitions.
@@ -34,12 +39,24 @@ bound.  The dependency-tracked fixed-point engine
 (:func:`repro.core.fixpoint.global_store_explore`) brackets each
 configuration's evaluation with :meth:`RecordingStore.begin_log` /
 :meth:`RecordingStore.end_log` to learn the configuration's store
-footprint without touching the semantics.
+footprint without touching the semantics.  The *bracketing protocol*:
+``begin_log`` opens exactly one log, every ``fetch`` inside the bracket
+is recorded as a read (including fetches of addresses first bound after
+the log opened -- the abstract-GC sweep depends on this), every
+``bind``/``replace``/``update`` as a write, and ``end_log`` must close
+the bracket even when the bracketed step raises; brackets never nest.
+
+:class:`GCOverlay` is the write overlay the versioned engine threads
+through an evaluation when abstract GC is on: reads fall through to the
+shared global :class:`MutableStore`, writes stay private until the
+engine has swept reachability over the evaluation's successors and
+merges only the live ones (via ``merge_entry``) into the global store.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections import ChainMap
 from typing import Any, Callable, Hashable, Iterable
 
 from repro.core.lattice import (
@@ -221,6 +238,24 @@ class CountingStore(StoreLike, ACounter):
     def singleton_addresses(self, store: PMap) -> frozenset:
         """Addresses whose abstract count is exactly one (must-alias facts)."""
         return frozenset(a for a in store if store[a][1] is AbsNat.ONE)
+
+    def saturate(self, store: PMap, addrs: Iterable[Hashable]) -> PMap:
+        """Bump the counts at ``addrs`` by one abstract allocation each.
+
+        The worklist engines call this once, after convergence, on the
+        set of addresses any evaluation bound: at the Kleene fixed point
+        every such address has been re-bound at least once more (the
+        confirming round re-steps every configuration), so its count has
+        saturated at MANY.  Re-adding one abstract allocation per
+        step-written address reproduces exactly that fixed point without
+        paying for the re-evaluations.  Addresses absent from the store
+        (e.g. writes abstract GC swept away) are left absent.
+        """
+        for addr in addrs:
+            if addr in store:
+                d, n = store[addr]
+                store = store.set(addr, (d, n.plus(AbsNat.ONE)))
+        return store
 
 
 class RecordingStore(StoreLike):
@@ -436,6 +471,20 @@ class VersionedStore(StoreLike):
         # (and only engine-visible) store-set lattice.
         return MapLattice(self.value_lattice)
 
+    # -- engine-side abstract GC (6.4 on the delta-driven loop) ---------------
+
+    def merge_entry(self, store: MutableStore, addr: Hashable, entry: Any) -> MutableStore:
+        """Join one raw store *entry* (as found in ``data``) into ``store``.
+
+        The versioned engine's GC path collects an evaluation's writes in
+        a :class:`GCOverlay` and merges only the entries reachable from
+        some successor state; the merge must join at the entry level (not
+        re-``bind``) so counting stores do not double-bump.  For the
+        plain versioned store an entry *is* a value set, so this is
+        ``bind``.
+        """
+        return self.bind(store, addr, entry)
+
     # -- snapshot conversions (the immutable boundary) -----------------------
 
     def thaw(self, store: Any) -> MutableStore:
@@ -450,6 +499,190 @@ class VersionedStore(StoreLike):
 
     def freeze(self, store: MutableStore) -> PMap:
         """An immutable snapshot, presentable wherever a PMap store goes."""
+        return pmap(store.data)
+
+
+class GCOverlay:
+    """A write overlay over a shared :class:`MutableStore` (engine-side GC).
+
+    Under abstract GC only the bindings *reachable from a successor
+    state* may enter the global store; a mutable shared store cannot take
+    writes directly, or dead bindings would leak into every other
+    configuration's view.  The versioned engine therefore threads one of
+    these per evaluation: it speaks enough of the :class:`MutableStore`
+    protocol for :class:`VersionedStore`/:class:`VersionedCountingStore`
+    operations (``data`` mapping, ``versions``, ``changelog``, and the
+    read-side ``get``/``in``/``keys``/``len``), reads fall through to the
+    underlying global store, and writes land in a private map that the
+    engine inspects (:meth:`written`) after sweeping reachability over
+    the evaluation's successors.  Live entries are then merged into the
+    global store with ``merge_entry`` -- whose version bumps are what
+    retrigger the readers of a GC'd-then-rebound address.
+    """
+
+    __slots__ = ("base", "data", "versions", "changelog", "_writes")
+
+    def __init__(self, base: MutableStore):
+        self.base = base
+        self._writes: dict = {}
+        # ChainMap: reads see writes-over-base, mutation lands in _writes
+        self.data = ChainMap(self._writes, base.data)
+        self.versions: dict = {}
+        self.changelog: list = []
+
+    def written(self) -> dict:
+        """The private ``addr -> entry`` map of this evaluation's writes."""
+        return self._writes
+
+    # -- read-side mapping protocol (shared with MutableStore/PMap) -----------
+
+    def get(self, addr: Hashable, default: Any = None) -> Any:
+        return self.data.get(addr, default)
+
+    def __contains__(self, addr: object) -> bool:
+        return addr in self.data
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def keys(self):
+        return self.data.keys()
+
+    def __repr__(self) -> str:
+        return f"GCOverlay({len(self._writes)} writes over {self.base!r})"
+
+
+class VersionedCountingStore(StoreLike, ACounter):
+    """``CountingStore`` semantics over an engine-owned :class:`MutableStore`.
+
+    Entries are ``(value-set, AbsNat)`` pairs exactly as in
+    :class:`CountingStore`, so a frozen snapshot is indistinguishable
+    from a persistent counting store's ``PMap``.  The versioning rules
+    follow :class:`VersionedStore` with one refinement: the changelog
+    records *value-set* growth only.  A ``bind`` that adds no new values
+    still bumps the abstract count, but counts are invisible to ``fetch``
+    -- the only store observation a re-evaluated configuration can make
+    -- so count-only changes must not retrigger readers (they would
+    re-bump the count they were retriggered by, looping until MANY for
+    nothing).  The engine instead saturates counts once, after
+    convergence, via :meth:`saturate`.
+    """
+
+    def __init__(self, value_lattice: Lattice | None = None):
+        super().__init__(value_lattice)
+        self.count_lattice = AbsNatLattice()
+        self._entry_lattice = PairLattice(self.value_lattice, self.count_lattice)
+        self._lattice = MapLattice(self._entry_lattice)
+
+    def empty(self) -> MutableStore:
+        return MutableStore()
+
+    def bind(self, store: MutableStore, addr: Hashable, d: Any) -> MutableStore:
+        data = store.data
+        entry = data.get(addr, _UNBOUND)
+        if entry is _UNBOUND:
+            data[addr] = (d, AbsNat.ONE)
+        else:
+            old_d, old_n = entry
+            new_n = old_n.plus(AbsNat.ONE)
+            if self.value_lattice.leq(d, old_d):
+                if new_n is not old_n:
+                    data[addr] = (old_d, new_n)  # count-only: no changelog
+                return store
+            data[addr] = (self.value_lattice.join(old_d, d), new_n)
+        store.versions[addr] = store.versions.get(addr, 0) + 1
+        store.changelog.append(addr)
+        return store
+
+    def replace(self, store: MutableStore, addr: Hashable, d: Any) -> MutableStore:
+        # strong update: rewrite the value set, preserve the count (it
+        # still bounds how many concrete addresses this one denotes)
+        entry = store.data.get(addr, _UNBOUND)
+        old_n = AbsNat.ONE if entry is _UNBOUND else entry[1]
+        if entry is not _UNBOUND and entry[0] == d:
+            return store
+        store.data[addr] = (d, old_n)
+        store.versions[addr] = store.versions.get(addr, 0) + 1
+        store.changelog.append(addr)
+        return store
+
+    def fetch(self, store: Any, addr: Hashable) -> Any:
+        entry = store.get(addr, _UNBOUND)
+        if entry is _UNBOUND:
+            return self.value_lattice.bottom()
+        return entry[0]
+
+    def count(self, store: Any, addr: Hashable) -> AbsNat:
+        entry = store.get(addr, _UNBOUND)
+        if entry is _UNBOUND:
+            return AbsNat.ZERO
+        return entry[1]
+
+    def update(self, store: MutableStore, addr: Hashable, d: Any) -> MutableStore:
+        """Strong update when the count permits, weak otherwise."""
+        if self.count(store, addr) is AbsNat.ONE:
+            return self.replace(store, addr, d)
+        return self.bind(store, addr, d)
+
+    def filter_store(self, store: Any, keep: Callable[[Hashable], bool]) -> MutableStore:
+        return MutableStore({a: store.get(a) for a in store.keys() if keep(a)})
+
+    def addresses(self, store: Any) -> Iterable[Hashable]:
+        return list(store.keys())
+
+    def lattice(self) -> Lattice:
+        # the lattice of frozen snapshots, shape-identical to CountingStore's
+        return self._lattice
+
+    def merge_entry(self, store: MutableStore, addr: Hashable, entry: Any) -> MutableStore:
+        """Entry-lattice join of a ``(value-set, count)`` pair into ``store``.
+
+        Unlike ``bind``, merging does not model a fresh allocation: the
+        overlay already accounted for the bump when the write happened,
+        so the counts join (max) instead of abstract-adding.
+        """
+        d, n = entry
+        data = store.data
+        old = data.get(addr, _UNBOUND)
+        if old is _UNBOUND:
+            data[addr] = (d, n)
+        else:
+            old_d, old_n = old
+            new_n = self.count_lattice.join(old_n, n)
+            if self.value_lattice.leq(d, old_d):
+                if new_n is not old_n:
+                    data[addr] = (old_d, new_n)
+                return store
+            data[addr] = (self.value_lattice.join(old_d, d), new_n)
+        store.versions[addr] = store.versions.get(addr, 0) + 1
+        store.changelog.append(addr)
+        return store
+
+    def saturate(self, store: MutableStore, addrs: Iterable[Hashable]) -> MutableStore:
+        """Post-convergence count saturation (see :meth:`CountingStore.saturate`)."""
+        data = store.data
+        for addr in addrs:
+            entry = data.get(addr, _UNBOUND)
+            if entry is _UNBOUND:
+                continue
+            d, n = entry
+            data[addr] = (d, n.plus(AbsNat.ONE))
+        return store
+
+    def singleton_addresses(self, store: Any) -> frozenset:
+        """Addresses whose abstract count is exactly one (must-alias facts)."""
+        return frozenset(a for a in store.keys() if self.count(store, a) is AbsNat.ONE)
+
+    # -- snapshot conversions (the immutable boundary) -----------------------
+
+    def thaw(self, store: Any) -> MutableStore:
+        """A private mutable copy of ``store`` (MutableStore or mapping)."""
+        if isinstance(store, MutableStore):
+            return store.copy()
+        return MutableStore(store)
+
+    def freeze(self, store: MutableStore) -> PMap:
+        """An immutable snapshot, shape-identical to a :class:`CountingStore` PMap."""
         return pmap(store.data)
 
 

@@ -25,11 +25,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable
 
+from repro.config import AnalysisConfig, assemble, build_config
 from repro.core.addresses import Addressable, Binding, ConcreteAddressing, KCFA, ZeroCFA
 from repro.core.collecting import PerStateStoreCollecting, SharedStoreCollecting
 from repro.core.driver import (
-    check_store_impl_scope,
-    prepare_engine_store,
     run_analysis,
     run_analysis_worklist,
     run_engine_analysis,
@@ -37,7 +36,7 @@ from repro.core.driver import (
 from repro.core.gc import MonadicStoreCollector
 from repro.core.lattice import AbsNat
 from repro.core.monads import StorePassing
-from repro.core.store import BasicStore, CountingStore, StoreLike, unwrap_store
+from repro.core.store import CountingStore, StoreLike, unwrap_store
 from repro.cps.semantics import Clo, CPSInterface, PState, free_vars_cache, inject, mnext
 from repro.cps.syntax import AExp, CExp, Lam, Ref, Var
 from repro.util.pcollections import PMap
@@ -254,14 +253,47 @@ class CPSAnalysisResult:
         return self.store_like.count(self.global_store(), addr)
 
 
+def assemble_cps(
+    config: AnalysisConfig, addressing: Addressable, store: StoreLike
+) -> CPSAnalysis:
+    """Build a :class:`CPSAnalysis` from validated, prepared components.
+
+    Called by :func:`repro.config.assemble`; the config has been
+    validated and ``store`` already carries any engine wrapping
+    (versioned swap-in, recording decoration).
+    """
+    interface = AbstractCPSInterface(addressing, store)
+    collector = (
+        MonadicStoreCollector(interface.monad, store, CPSTouching())
+        if config.gc
+        else None
+    )
+    if config.shared:
+        collecting: Any = SharedStoreCollecting(
+            interface.monad, store, addressing.tau0(), collector
+        )
+    else:
+        collecting = PerStateStoreCollecting(
+            interface.monad, store, addressing.tau0(), collector
+        )
+    return CPSAnalysis(
+        interface=interface,
+        collecting=collecting,
+        shared=config.shared,
+        label=config.label,
+        engine=config.engine,
+    )
+
+
 def analyse(
-    addressing: Addressable,
+    addressing: Addressable | None = None,
     store_like: StoreLike | None = None,
-    shared: bool = False,
-    gc: bool = False,
+    shared: bool | None = None,
+    gc: bool | None = None,
     label: str = "",
     engine: str | None = None,
-    store_impl: str = "persistent",
+    store_impl: str | None = None,
+    preset: str | None = None,
 ) -> CPSAnalysis:
     """Assemble an analysis from the paper's degrees of freedom.
 
@@ -273,27 +305,25 @@ def analyse(
     :data:`~repro.core.fixpoint.ENGINES`), superseding ``shared``;
     ``store_impl`` picks the store representation behind the worklist
     engines (one of :data:`~repro.core.fixpoint.STORE_IMPLS`).
+
+    ``preset`` starts from a named configuration in
+    :data:`repro.config.PRESETS` instead (e.g.
+    ``analyse(preset="1cfa-gc")``); the other keywords then act as
+    overrides.  Either way the call routes through
+    :func:`repro.config.assemble`, which validates the combination.
     """
-    store = store_like or BasicStore()
-    check_store_impl_scope(engine, store_impl)
-    if engine is not None:
-        store = prepare_engine_store(engine, store, gc, store_impl)
-        shared = True
-    interface = AbstractCPSInterface(addressing, store)
-    collector = (
-        MonadicStoreCollector(interface.monad, store, CPSTouching()) if gc else None
+    config = build_config(
+        "cps",
+        preset=preset,
+        addressing=addressing,
+        store_like=store_like,
+        shared=shared,
+        gc=gc,
+        engine=engine,
+        store_impl=store_impl,
+        label=label,
     )
-    if shared:
-        collecting: Any = SharedStoreCollecting(
-            interface.monad, store, addressing.tau0(), collector
-        )
-    else:
-        collecting = PerStateStoreCollecting(
-            interface.monad, store, addressing.tau0(), collector
-        )
-    return CPSAnalysis(
-        interface=interface, collecting=collecting, shared=shared, label=label, engine=engine
-    )
+    return assemble(config, addressing=addressing, store_like=store_like)
 
 
 def analyse_concrete_collecting(program: CExp, max_steps: int = 1_000_000) -> CPSAnalysisResult:
@@ -360,10 +390,12 @@ def analyse_with_engine(
     The three engines (:data:`~repro.core.fixpoint.ENGINES`) compute the
     identical fixed point of the store-widened domain; they differ only
     in how much of the reached set each store change re-evaluates.
-    ``counting`` composes with the ``kleene`` engine only (the worklist
-    engines skip the re-evaluations abstract counting relies on).
-    ``store_impl`` picks persistent or versioned store backing for the
-    worklist engines (identical fixed points, O(delta) hot loop).
+    ``counting`` composes with every engine: the worklist engines track
+    written addresses through the recording store's write log and
+    saturate their counts on convergence, reproducing the kleene
+    counting fixed point without its re-evaluations.  ``store_impl``
+    picks persistent or versioned store backing for the worklist
+    engines (identical fixed points, O(delta) hot loop).
     """
     analysis = analyse(
         KCFA(k),

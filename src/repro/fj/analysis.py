@@ -11,18 +11,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable
 
+from repro.config import AnalysisConfig, assemble, build_config
 from repro.core.addresses import Addressable, Binding, KCFA, ZeroCFA
 from repro.core.collecting import PerStateStoreCollecting, SharedStoreCollecting
 from repro.core.driver import (
-    check_store_impl_scope,
-    prepare_engine_store,
     run_analysis,
     run_analysis_worklist,
     run_engine_analysis,
 )
 from repro.core.gc import MonadicStoreCollector
 from repro.core.monads import StorePassing
-from repro.core.store import BasicStore, CountingStore, StoreLike, unwrap_store
+from repro.core.store import CountingStore, StoreLike, unwrap_store
 from repro.fj.class_table import ClassTable
 from repro.fj.machine import (
     CastF,
@@ -268,33 +267,64 @@ class FJAnalysisResult:
         return failures
 
 
-def analyse_fj(
-    program: Program,
-    addressing: Addressable,
-    store_like: StoreLike | None = None,
-    shared: bool = False,
-    gc: bool = False,
-    label: str = "",
-    engine: str | None = None,
-    store_impl: str = "persistent",
+def assemble_fj_from_config(
+    config: AnalysisConfig, addressing: Addressable, store: StoreLike, program: Program
 ) -> FJAnalysis:
-    """Assemble an FJ analysis from the shared degrees of freedom."""
+    """Build an :class:`FJAnalysis` from validated, prepared components.
+
+    Called by :func:`repro.config.assemble`; FJ additionally needs the
+    program here because the interface closes over its class table.
+    """
     table = ClassTable.of(program)
-    store = store_like or BasicStore()
-    check_store_impl_scope(engine, store_impl)
-    if engine is not None:
-        store = prepare_engine_store(engine, store, gc, store_impl)
-        shared = True
     interface = AbstractFJInterface(table, addressing, store)
     collector = (
-        MonadicStoreCollector(interface.monad, store, FJTouching()) if gc else None
+        MonadicStoreCollector(interface.monad, store, FJTouching())
+        if config.gc
+        else None
     )
-    if shared:
+    if config.shared:
         collecting: Any = _SeededShared(interface, addressing.tau0(), collector)
     else:
         collecting = _SeededPerState(interface, addressing.tau0(), collector)
     return FJAnalysis(
-        interface=interface, collecting=collecting, shared=shared, label=label, engine=engine
+        interface=interface,
+        collecting=collecting,
+        shared=config.shared,
+        label=config.label,
+        engine=config.engine,
+    )
+
+
+def analyse_fj(
+    program: Program,
+    addressing: Addressable | None = None,
+    store_like: StoreLike | None = None,
+    shared: bool | None = None,
+    gc: bool | None = None,
+    label: str = "",
+    engine: str | None = None,
+    store_impl: str | None = None,
+    preset: str | None = None,
+) -> FJAnalysis:
+    """Assemble an FJ analysis from the shared degrees of freedom.
+
+    ``preset`` starts from :data:`repro.config.PRESETS` (e.g.
+    ``analyse_fj(program, preset="1cfa-gc")``); other keywords override
+    it.  All paths route through :func:`repro.config.assemble`.
+    """
+    config = build_config(
+        "fj",
+        preset=preset,
+        addressing=addressing,
+        store_like=store_like,
+        shared=shared,
+        gc=gc,
+        engine=engine,
+        store_impl=store_impl,
+        label=label,
+    )
+    return assemble(
+        config, program=program, addressing=addressing, store_like=store_like
     )
 
 

@@ -130,13 +130,23 @@ class TestEngineFlag:
             tables[engine] = out[: out.index("states:")]
         assert tables["kleene"] == tables["worklist"] == tables["depgraph"]
 
-    def test_gc_with_global_store_engine_rejected(self, cps_file):
-        with pytest.raises(SystemExit):
-            main(["analyze", cps_file, "--engine", "depgraph", "--gc"])
+    def test_gc_with_global_store_engine_supported(self, cps_file, capsys):
+        """GC composes with the worklist engines and agrees with kleene+gc."""
+        tables = {}
+        for engine in ("kleene", "depgraph"):
+            assert main(["analyze", cps_file, "--engine", engine, "--gc"]) == 0
+            out = capsys.readouterr().out
+            tables[engine] = out[: out.index("states:")]
+        assert tables["kleene"] == tables["depgraph"]
 
-    def test_counting_with_global_store_engine_rejected(self, cps_file):
-        with pytest.raises(SystemExit):
-            main(["analyze", cps_file, "--engine", "worklist", "--counting"])
+    def test_counting_with_global_store_engine_supported(self, cps_file, capsys):
+        """Counting composes with the worklist engines, same flow table."""
+        tables = {}
+        for engine in ("kleene", "worklist"):
+            assert main(["analyze", cps_file, "--engine", engine, "--counting"]) == 0
+            out = capsys.readouterr().out
+            tables[engine] = out[: out.index("states:")]
+        assert tables["kleene"] == tables["worklist"]
 
     def test_counting_with_kleene_engine_allowed(self, cps_file, capsys):
         assert main(["analyze", cps_file, "--engine", "kleene", "--counting"]) == 0
@@ -154,6 +164,54 @@ class TestParser:
 
     def test_defaults(self):
         args = build_parser().parse_args(["analyze", "x.cps"])
-        assert args.k == 1
+        assert args.k is None  # "not passed": presets keep their own k
         assert args.engine is None
+        assert args.preset is None and not args.list_presets
         assert not args.shared and not args.gc and not args.counting
+
+
+class TestPresets:
+    def test_list_presets(self, capsys):
+        assert main(["analyze", "--list-presets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("concrete", "0cfa", "1cfa-gc", "kcfa-counting-fast"):
+            assert name in out
+
+    def test_preset_runs_each_language(self, cps_file, lam_file, fj_file, capsys):
+        for path in (cps_file, lam_file, fj_file):
+            assert main(["analyze", path, "--preset", "1cfa-gc"]) == 0
+            out = capsys.readouterr().out
+            assert "preset: 1cfa-gc" in out
+            assert "engine: depgraph (versioned)" in out
+
+    def test_preset_agrees_with_fine_grained_flags(self, cps_file, capsys):
+        assert main(["analyze", cps_file, "--preset", "1cfa"]) == 0
+        via_preset = capsys.readouterr().out
+        assert (
+            main(
+                ["analyze", cps_file, "--k", "1", "--engine", "depgraph",
+                 "--store-impl", "versioned"]
+            )
+            == 0
+        )
+        via_flags = capsys.readouterr().out
+        cut = via_preset.index("states:")
+        assert via_preset[:cut] == via_flags[: via_flags.index("states:")]
+
+    def test_preset_field_override(self, cps_file, capsys):
+        assert main(["analyze", cps_file, "--preset", "1cfa", "--engine", "kleene",
+                     "--store-impl", "persistent"]) == 0
+        assert "engine: kleene (persistent)" in capsys.readouterr().out
+
+    def test_unknown_preset_rejected(self, cps_file):
+        with pytest.raises(SystemExit, match="unknown preset"):
+            main(["analyze", cps_file, "--preset", "9cfa-quantum"])
+
+    def test_invalid_preset_override_rejected(self, cps_file):
+        # versioned store without a worklist engine: caught by validation
+        with pytest.raises(SystemExit, match="kleene"):
+            main(["analyze", cps_file, "--preset", "1cfa", "--engine", "kleene"])
+
+    def test_program_required_without_list(self):
+        with pytest.raises(SystemExit, match="program"):
+            main(["analyze"])

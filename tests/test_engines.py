@@ -195,16 +195,20 @@ class TestStoreImplEquivalence:
         with pytest.raises(ValueError, match="engine"):
             analyse(KCFA(1), store_impl="versioned")
 
-    def test_counting_rejects_versioned(self):
+    def test_counting_runs_on_versioned(self):
+        """Counting stores have a versioned counterpart since the engines
+        learned to saturate counts; the fixed point matches kleene."""
         from repro.core.addresses import KCFA
 
-        with pytest.raises(ValueError, match="counting"):
-            analyse(
-                KCFA(1),
-                store_like=CountingStore(),
-                engine="depgraph",
-                store_impl="versioned",
-            )
+        program = CPS_PROGRAMS["mj09"]
+        kleene = analyse(KCFA(1), store_like=CountingStore(), engine="kleene").run(program)
+        fast = analyse(
+            KCFA(1),
+            store_like=CountingStore(),
+            engine="depgraph",
+            store_impl="versioned",
+        ).run(program)
+        assert fast.fp == kleene.fp
 
 
 def _uninterned(value):
@@ -299,34 +303,6 @@ class TestEngineGuards:
         with pytest.raises(ValueError, match="unknown engine"):
             analyse(KCFA(1), engine="magic")
 
-    def test_gc_rejected_on_global_store_engines(self):
-        from repro.core.addresses import KCFA
-
-        for engine in ("worklist", "depgraph"):
-            with pytest.raises(ValueError, match="abstract GC"):
-                analyse(KCFA(1), gc=True, engine=engine)
-            with pytest.raises(ValueError, match="abstract GC"):
-                analyse_cesk(KCFA(1), gc=True, engine=engine)
-            with pytest.raises(ValueError, match="abstract GC"):
-                analyse_fj(FJ_PROGRAMS["pair"], KCFA(1), gc=True, engine=engine)
-
-    def test_counting_rejected_on_global_store_engines(self):
-        """A worklist engine skips re-evaluations, so abstract counts would
-        under-approximate (a loop allocating through one configuration
-        would keep a count of ONE and fabricate must-alias facts)."""
-        from repro.core.addresses import KCFA
-        from repro.core.store import CountingStore
-
-        for engine in ("worklist", "depgraph"):
-            with pytest.raises(ValueError, match="counting"):
-                analyse(KCFA(1), store_like=CountingStore(), engine=engine)
-            with pytest.raises(ValueError, match="counting"):
-                analyse_cesk(KCFA(1), store_like=CountingStore(), engine=engine)
-            with pytest.raises(ValueError, match="counting"):
-                analyse_fj(
-                    FJ_PROGRAMS["pair"], KCFA(1), store_like=CountingStore(), engine=engine
-                )
-
     def test_gc_allowed_on_kleene_engine(self):
         from repro.core.addresses import KCFA
 
@@ -346,3 +322,157 @@ class TestEngineGuards:
                 CPS_PROGRAMS["mj09"],
                 track_deps=True,
             )
+
+
+class TestGCEngineEquivalence:
+    """Abstract GC runs on the worklist engines (both store impls) and
+    computes the identical fixed point to the Kleene+GC baseline.
+
+    On the persistent path each branch's result store arrives already
+    swept by the woven-in collector; on the versioned path the engine
+    runs each evaluation against a write overlay, sweeps reachability
+    from every successor, and merges only the live writes.  The Kleene+GC
+    iterates are monotone on every corpus program, so the grow-only
+    worklist image converges to the same least fixed point.  (The full
+    preset-by-preset corpus sweep lives in tests/test_config.py; these
+    are the direct engine-level checks.)
+    """
+
+    ENGINE_IMPLS = [
+        ("worklist", "persistent"),
+        ("worklist", "versioned"),
+        ("depgraph", "persistent"),
+        ("depgraph", "versioned"),
+    ]
+
+    @pytest.mark.parametrize("name", CPS_NAMES)
+    @pytest.mark.parametrize("engine,impl", ENGINE_IMPLS)
+    def test_cps_corpus(self, name, engine, impl):
+        from repro.core.addresses import KCFA
+
+        program = CPS_PROGRAMS[name]
+        reference = analyse(KCFA(1), gc=True, engine="kleene").run(program)
+        result = analyse(KCFA(1), gc=True, engine=engine, store_impl=impl).run(program)
+        assert result.fp == reference.fp
+
+    @pytest.mark.parametrize("engine,impl", ENGINE_IMPLS)
+    def test_lam_spot_check(self, engine, impl):
+        from repro.core.addresses import KCFA
+
+        expr = LAM_PROGRAMS["mj09"]
+        reference = analyse_cesk(KCFA(1), gc=True, engine="kleene").run(expr)
+        result = analyse_cesk(KCFA(1), gc=True, engine=engine, store_impl=impl).run(expr)
+        assert result.fp == reference.fp
+
+    @pytest.mark.parametrize("engine,impl", ENGINE_IMPLS)
+    def test_fj_spot_check(self, engine, impl):
+        from repro.core.addresses import KCFA
+
+        program = FJ_PROGRAMS["visitor"]
+        reference = analyse_fj(program, KCFA(1), gc=True, engine="kleene").run(program)
+        result = analyse_fj(
+            program, KCFA(1), gc=True, engine=engine, store_impl=impl
+        ).run(program)
+        assert result.fp == reference.fp
+
+    def test_gc_sweeps_dead_bindings_out_of_the_global_store(self):
+        """The GC'd global store is a subset of the unswept one."""
+        from repro.core.addresses import KCFA
+
+        program = LAM_PROGRAMS["church-two-two"]
+        plain = analyse_cesk(KCFA(1), engine="depgraph", store_impl="versioned").run(program)
+        swept = analyse_cesk(
+            KCFA(1), gc=True, engine="depgraph", store_impl="versioned"
+        ).run(program)
+        plain_addrs = set(plain.global_store().keys())
+        swept_addrs = set(swept.global_store().keys())
+        assert swept_addrs <= plain_addrs
+
+    def test_gc_engine_stats_report_fewer_evaluations_than_kleene(self):
+        from repro.core.addresses import KCFA
+        from repro.corpus.cps_programs import id_chain
+
+        program = id_chain(12)
+        kleene_stats: dict = {}
+        fast_stats: dict = {}
+        kleene = analyse(KCFA(1), gc=True, engine="kleene")
+        kleene.run(program)
+        kleene_stats = kleene.last_stats
+        fast = analyse(KCFA(1), gc=True, engine="depgraph", store_impl="versioned")
+        fast.run(program)
+        fast_stats = fast.last_stats
+        assert fast_stats["evaluations"] < kleene_stats["evaluations"]
+
+
+class TestCountingEngineEquivalence:
+    """Counting stores run on the worklist engines via count saturation.
+
+    At the Kleene fixed point every step-written address has count MANY
+    (the confirming round re-binds it once more), so the engines track
+    written addresses through the write log and saturate their counts
+    after convergence -- the identical fixed point, store included.
+    """
+
+    ENGINE_IMPLS = TestGCEngineEquivalence.ENGINE_IMPLS
+
+    @pytest.mark.parametrize("name", CPS_NAMES)
+    @pytest.mark.parametrize("engine,impl", ENGINE_IMPLS)
+    def test_cps_corpus(self, name, engine, impl):
+        program = CPS_PROGRAMS[name]
+        reference = analyse_with_engine(program, "kleene", k=1, counting=True)
+        result = analyse_with_engine(
+            program, engine, k=1, counting=True, store_impl=impl
+        )
+        assert result.fp == reference.fp
+
+    @pytest.mark.parametrize("engine,impl", ENGINE_IMPLS)
+    def test_lam_spot_check(self, engine, impl):
+        from repro.core.addresses import KCFA
+
+        expr = LAM_PROGRAMS["church-two-two"]
+        reference = analyse_cesk(
+            KCFA(1), store_like=CountingStore(), engine="kleene"
+        ).run(expr)
+        result = analyse_cesk(
+            KCFA(1), store_like=CountingStore(), engine=engine, store_impl=impl
+        ).run(expr)
+        assert result.fp == reference.fp
+
+    @pytest.mark.parametrize("engine,impl", ENGINE_IMPLS)
+    def test_fj_spot_check(self, engine, impl):
+        from repro.core.addresses import KCFA
+
+        program = FJ_PROGRAMS["animals"]
+        reference = analyse_fj(
+            program, KCFA(1), store_like=CountingStore(), engine="kleene"
+        ).run(program)
+        result = analyse_fj(
+            program, KCFA(1), store_like=CountingStore(), engine=engine, store_impl=impl
+        ).run(program)
+        assert result.fp == reference.fp
+
+    def test_seed_bindings_keep_their_counts(self):
+        """Saturation only touches step-written addresses: the halt
+        continuation, bound once when the store is seeded, stays ONE."""
+        from repro.cesk.machine import HALT_ADDRESS
+        from repro.core.addresses import KCFA
+        from repro.core.lattice import AbsNat
+
+        expr = LAM_PROGRAMS["id-simple"]
+        result = analyse_cesk(
+            KCFA(1), store_like=CountingStore(), engine="depgraph", store_impl="versioned"
+        ).run(expr)
+        assert result.store_like.count(result.global_store(), HALT_ADDRESS) is AbsNat.ONE
+
+    def test_gc_and_counting_compose_on_worklist_engines(self):
+        from repro.core.addresses import KCFA
+
+        program = CPS_PROGRAMS["mj09"]
+        reference = analyse(
+            KCFA(1), store_like=CountingStore(), gc=True, engine="kleene"
+        ).run(program)
+        for engine, impl in self.ENGINE_IMPLS:
+            result = analyse(
+                KCFA(1), store_like=CountingStore(), gc=True, engine=engine, store_impl=impl
+            ).run(program)
+            assert result.fp == reference.fp, (engine, impl)

@@ -8,11 +8,13 @@ from repro.core.lattice import AbsNat
 from repro.core.store import (
     BasicStore,
     CountingStore,
+    GCOverlay,
     MutableStore,
     RecordingStore,
+    VersionedCountingStore,
     VersionedStore,
 )
-from repro.util.pcollections import PMap
+from repro.util.pcollections import PMap, pmap
 
 values = st.frozensets(st.integers(0, 5), min_size=1, max_size=3)
 addrs = st.sampled_from(["a", "b", "c"])
@@ -288,3 +290,236 @@ class TestRecordingStoreBracketing:
         recorder.fetch(sigma, "a")
         reads, writes = recorder.end_log()
         assert reads == frozenset(["a"]) and writes == frozenset()
+
+
+class TestVersionedCountingStore:
+    """The counting co-domain on the mutable/versioned representation."""
+
+    def setup_method(self):
+        self.s = VersionedCountingStore()
+
+    def test_bind_counts_like_counting_store(self):
+        store = self.s.empty()
+        self.s.bind(store, "a", frozenset([1]))
+        assert self.s.fetch(store, "a") == frozenset([1])
+        assert self.s.count(store, "a") is AbsNat.ONE
+        self.s.bind(store, "a", frozenset([2]))
+        assert self.s.fetch(store, "a") == frozenset([1, 2])
+        assert self.s.count(store, "a") is AbsNat.MANY
+
+    def test_unbound_count_is_zero(self):
+        assert self.s.count(self.s.empty(), "a") is AbsNat.ZERO
+        assert self.s.fetch(self.s.empty(), "a") == frozenset()
+
+    def test_changelog_records_value_growth_only(self):
+        """A count-only change is invisible to ``fetch``, so it must not
+        retrigger readers: the changelog skips it."""
+        store = self.s.empty()
+        self.s.bind(store, "a", frozenset([1]))
+        assert store.changelog == ["a"]
+        self.s.bind(store, "a", frozenset([1]))  # count ONE -> MANY, value same
+        assert self.s.count(store, "a") is AbsNat.MANY
+        assert store.changelog == ["a"]  # no new entry
+        self.s.bind(store, "a", frozenset([2]))  # value grows
+        assert store.changelog == ["a", "a"]
+
+    def test_update_is_strong_exactly_at_count_one(self):
+        store = self.s.empty()
+        self.s.bind(store, "a", frozenset([1]))
+        self.s.update(store, "a", frozenset([9]))
+        assert self.s.fetch(store, "a") == frozenset([9])  # strong
+        self.s.bind(store, "b", frozenset([1]))
+        self.s.bind(store, "b", frozenset([1]))
+        self.s.update(store, "b", frozenset([9]))
+        assert self.s.fetch(store, "b") == frozenset([1, 9])  # weak
+
+    def test_merge_entry_joins_without_double_bump(self):
+        store = self.s.empty()
+        self.s.bind(store, "a", frozenset([1]))
+        self.s.merge_entry(store, "a", (frozenset([1]), AbsNat.ONE))
+        # an entry-level join is not an allocation: count stays ONE
+        assert self.s.count(store, "a") is AbsNat.ONE
+        self.s.merge_entry(store, "a", (frozenset([2]), AbsNat.MANY))
+        assert self.s.fetch(store, "a") == frozenset([1, 2])
+        assert self.s.count(store, "a") is AbsNat.MANY
+
+    def test_saturate_bumps_only_named_present_addresses(self):
+        store = self.s.empty()
+        self.s.bind(store, "a", frozenset([1]))
+        self.s.bind(store, "b", frozenset([2]))
+        self.s.saturate(store, ["a", "ghost"])
+        assert self.s.count(store, "a") is AbsNat.MANY
+        assert self.s.count(store, "b") is AbsNat.ONE
+        assert "ghost" not in store
+
+    def test_freeze_matches_counting_store_shape(self):
+        persistent = CountingStore()
+        p = persistent.bind(persistent.empty(), "a", frozenset([1]))
+        p = persistent.bind(p, "a", frozenset([2]))
+        store = self.s.empty()
+        self.s.bind(store, "a", frozenset([1]))
+        self.s.bind(store, "a", frozenset([2]))
+        assert self.s.freeze(store) == p
+
+    @given(bind_scripts)
+    def test_versions_track_value_changes_exactly(self, script):
+        versioned = VersionedCountingStore()
+        store = versioned.empty()
+        for addr, d in script:
+            before_value = versioned.fetch(store, addr)
+            before_version = store.version(addr)
+            before_count = versioned.count(store, addr)
+            versioned.bind(store, addr, d)
+            after_value = versioned.fetch(store, addr)
+            # value sets and counts only grow, versions never decrease
+            assert before_value <= after_value
+            assert before_count <= versioned.count(store, addr)
+            assert store.version(addr) >= before_version
+            # the version bumps exactly when the value set changed
+            assert (store.version(addr) > before_version) == (
+                after_value != before_value
+            )
+        assert store.mark() == sum(store.versions.values())
+
+
+class TestGCOverlay:
+    def test_reads_fall_through_to_the_base(self):
+        versioned = VersionedStore()
+        base = versioned.empty()
+        versioned.bind(base, "a", frozenset([1]))
+        overlay = GCOverlay(base)
+        assert versioned.fetch(overlay, "a") == frozenset([1])
+        assert "a" in overlay and len(overlay) == 1
+
+    def test_writes_stay_private_until_merged(self):
+        versioned = VersionedStore()
+        base = versioned.empty()
+        versioned.bind(base, "a", frozenset([1]))
+        overlay = GCOverlay(base)
+        versioned.bind(overlay, "b", frozenset([2]))
+        versioned.bind(overlay, "a", frozenset([3]))
+        # the overlay sees both writes, joined over the base values
+        assert versioned.fetch(overlay, "b") == frozenset([2])
+        assert versioned.fetch(overlay, "a") == frozenset([1, 3])
+        # the base saw nothing
+        assert versioned.fetch(base, "a") == frozenset([1])
+        assert "b" not in base
+        assert overlay.written() == {
+            "b": frozenset([2]),
+            "a": frozenset([1, 3]),
+        }
+
+    def test_no_growth_write_records_nothing(self):
+        versioned = VersionedStore()
+        base = versioned.empty()
+        versioned.bind(base, "a", frozenset([1]))
+        overlay = GCOverlay(base)
+        versioned.bind(overlay, "a", frozenset([1]))  # subset: no growth
+        assert overlay.written() == {}
+
+    def test_merge_entry_propagates_live_writes(self):
+        versioned = VersionedStore()
+        base = versioned.empty()
+        versioned.bind(base, "a", frozenset([1]))
+        overlay = GCOverlay(base)
+        versioned.bind(overlay, "a", frozenset([2]))
+        mark = base.mark()
+        for addr, entry in overlay.written().items():
+            versioned.merge_entry(base, addr, entry)
+        assert versioned.fetch(base, "a") == frozenset([1, 2])
+        assert base.changed_since(mark) == ["a"]
+
+
+class TestRecordingStoreGCRoots:
+    """Regression: the GC root computation must see every read-log entry,
+    including reads of addresses first bound *after* the log opened.
+
+    The engine-side GC sweep runs inside the read/write-log bracket and
+    its fetches -- which visit this evaluation's own fresh bindings
+    through the overlay -- are the dependency roots.  A sweep performed
+    after ``end_log``, or a ``fetch`` that skipped logging because the
+    address was already in the write log, would silently drop those
+    roots and the dependency-tracked engine would never retrigger the
+    configuration (found while wiring GC into the worklist path;
+    minimized here and pinned end-to-end below).
+    """
+
+    def test_fetch_of_address_bound_after_log_opened_is_recorded(self):
+        recorder = RecordingStore(BasicStore())
+        sigma = recorder.empty()
+        recorder.begin_log()
+        sigma = recorder.bind(sigma, "fresh", frozenset(["v"]))
+        recorder.fetch(sigma, "fresh")
+        reads, writes = recorder.end_log()
+        assert "fresh" in writes
+        assert "fresh" in reads  # the write must not shadow the read
+
+    def test_gc_sweep_reads_land_in_the_open_log(self):
+        from repro.core.gc import reachable_addresses
+
+        recorder = RecordingStore(BasicStore())
+        touched = lambda v: frozenset(v[1])  # noqa: E731
+        sigma = recorder.bind(recorder.empty(), "root", frozenset([("clo", ("mid",))]))
+        recorder.begin_log()
+        # "mid" is bound after the log opened, then swept through
+        sigma = recorder.bind(sigma, "mid", frozenset([("clo", ("leaf",))]))
+        sigma = recorder.bind(sigma, "leaf", frozenset([("clo", ())]))
+        live = reachable_addresses(recorder, sigma, frozenset(["root"]), touched)
+        reads, _writes = recorder.end_log()
+        assert live == frozenset(["root", "mid", "leaf"])
+        assert frozenset(["root", "mid", "leaf"]) <= reads
+
+    def test_versioned_gc_engine_retriggers_through_swept_only_address(self):
+        """End-to-end minimization on the raw engine with a fake domain.
+
+        Configuration A binds ``cell`` and its successor's GC sweep reads
+        it -- that sweep read is A's *only* dependency on ``cell``.  When
+        B later grows ``cell``, the engine must retrigger A (whose second
+        evaluation reveals an extra successor).  If the sweep ran outside
+        the bracket, the dependency would be missed and the extra
+        successor never found.
+        """
+        from repro.core.fixpoint import global_store_explore
+
+        versioned = VersionedStore()
+        recorder = RecordingStore(versioned)
+
+        class Touching:
+            def touched_by_state(self, pstate):
+                return frozenset(["cell"]) if pstate.startswith("S") else frozenset()
+
+            def touched_by_value(self, value):
+                return frozenset()
+
+        class Collector:
+            touching = Touching()
+
+        class Inner:
+            store_like = recorder
+            collector = Collector()
+            a_evals = 0
+
+            def run_config_pairs(self, step, config, instrument=True):
+                (pstate, guts), store = config
+                if pstate == "A":
+                    Inner.a_evals += 1
+                    recorder.bind(store, "cell", frozenset(["v-from-A"]))
+                    if Inner.a_evals > 1:
+                        return [("SA", 0), ("EXTRA", 0)]
+                    return [("SA", 0)]
+                if pstate == "B":
+                    recorder.bind(store, "cell", frozenset(["v-from-B"]))
+                    return [("SB", 0)]
+                return []
+
+        class Domain:
+            inner = Inner()
+
+            def inject(self, initial):
+                return (frozenset([("A", 0), ("B", 0)]), pmap())
+
+        fp_states = {
+            pstate
+            for (pstate, _guts) in global_store_explore(Domain(), None, "ignored")[0]
+        }
+        assert "EXTRA" in fp_states

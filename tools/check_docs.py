@@ -1,0 +1,77 @@
+"""Docstring presence checker for the documented core (CI docs job).
+
+A dependency-free mirror of pydocstyle's D100/D101/D103/D419 rules
+(missing module / public class / public function docstring, empty
+docstring), so the docs gate runs identically on a bare checkout and in
+CI -- the CI job additionally runs ruff's D rules when available::
+
+    python tools/check_docs.py src/repro/core src/repro/config.py
+
+Exit status is the number of files with findings (0 = clean).  Private
+names (leading underscore) and methods are exempt: overridden protocol
+methods inherit their contract from the ABC's documented declaration.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+
+def check_file(path: Path) -> list[str]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    problems = []
+    doc = ast.get_docstring(tree)
+    if doc is None:
+        problems.append(f"{path}:1: D100 missing module docstring")
+    elif not doc.strip():
+        problems.append(f"{path}:1: D419 empty module docstring")
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+            doc = ast.get_docstring(node)
+            if doc is None:
+                problems.append(
+                    f"{path}:{node.lineno}: D101 missing docstring on class {node.name}"
+                )
+            elif not doc.strip():
+                problems.append(
+                    f"{path}:{node.lineno}: D419 empty docstring on class {node.name}"
+                )
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ) and not node.name.startswith("_"):
+            doc = ast.get_docstring(node)
+            if doc is None:
+                problems.append(
+                    f"{path}:{node.lineno}: D103 missing docstring on function {node.name}"
+                )
+            elif not doc.strip():
+                problems.append(
+                    f"{path}:{node.lineno}: D419 empty docstring on function {node.name}"
+                )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    targets = argv or ["src/repro/core", "src/repro/config.py"]
+    files: list[Path] = []
+    for target in targets:
+        path = Path(target)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    bad = 0
+    for path in files:
+        problems = check_file(path)
+        for problem in problems:
+            print(problem)
+        bad += bool(problems)
+    if not bad:
+        print(f"docstrings ok across {len(files)} files")
+    return bad
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,70 @@
+"""Markdown link checker for the repo's documentation (CI docs job).
+
+Walks every tracked ``*.md`` file, extracts inline links and images
+(``[text](target)``), and verifies that every *relative* target exists
+on disk (anchors are stripped; ``http(s)``/``mailto`` targets are left
+to the reader).  This keeps ARCHITECTURE.md, README.md and
+PERFORMANCE.md from referring to files that a refactor renamed away::
+
+    python tools/check_links.py            # checks all *.md under the repo
+    python tools/check_links.py README.md  # or specific files
+
+Exit status is the number of broken links (0 = clean).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links/images: [text](target) / ![alt](target).
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+#: Directories never scanned for markdown sources.
+EXCLUDED_DIRS = {".git", ".pytest_cache", "__pycache__", ".ruff_cache", "node_modules"}
+
+
+def iter_markdown(root: Path) -> list[Path]:
+    return [
+        path
+        for path in sorted(root.rglob("*.md"))
+        if not EXCLUDED_DIRS & set(part for part in path.parts)
+    ]
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    broken = []
+    for match in LINK.finditer(path.read_text()):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        # badge-style workflow links resolve on the forge, not on disk
+        if target.startswith("../../actions/"):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            broken.append(f"{path.relative_to(root)}: broken link -> {target}")
+    return broken
+
+
+def main(argv: list[str]) -> int:
+    root = Path.cwd()
+    files = [Path(arg) for arg in argv] if argv else iter_markdown(root)
+    broken: list[str] = []
+    for path in files:
+        broken.extend(check_file(path, root))
+    for problem in broken:
+        print(problem)
+    if not broken:
+        print(f"links ok across {len(files)} markdown files")
+    return len(broken)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
