@@ -142,9 +142,14 @@ class CESKAnalysis:
     shared: bool
     label: str = ""
     engine: str | None = None
+    transition: str = "generic"
     last_stats: dict = field(default_factory=dict)
 
     def step(self) -> Callable[[PState], Any]:
+        if self.transition == "fused":
+            from repro.cesk.fused import build_cesk_fused
+
+            return build_cesk_fused(self.interface)
         return lambda pstate: mnext_cesk(self.interface, pstate)
 
     def run(self, expr: Expr, worklist: bool = True, max_steps: int = 1_000_000):
@@ -272,6 +277,7 @@ def assemble_cesk(
         shared=config.shared,
         label=config.label,
         engine=config.engine,
+        transition=config.transition,
     )
 
 
@@ -283,6 +289,7 @@ def analyse_cesk(
     label: str = "",
     engine: str | None = None,
     store_impl: str | None = None,
+    transition: str | None = None,
     preset: str | None = None,
 ) -> CESKAnalysis:
     """Assemble a CESK analysis from the shared degrees of freedom.
@@ -300,6 +307,7 @@ def analyse_cesk(
         gc=gc,
         engine=engine,
         store_impl=store_impl,
+        transition=transition,
         label=label,
     )
     return assemble(config, addressing=addressing, store_like=store_like)
@@ -338,6 +346,7 @@ def analyse_cesk_engine(
     k: int = 1,
     stats: dict | None = None,
     store_impl: str = "persistent",
+    transition: str | None = None,
 ) -> CESKAnalysisResult:
     """Global-store k-CFA for direct-style programs under a named engine."""
     analysis = analyse_cesk(
@@ -345,6 +354,7 @@ def analyse_cesk_engine(
         engine=engine,
         label=f"cesk-{k}cfa-{engine}-{store_impl}",
         store_impl=store_impl,
+        transition=transition,
     )
     result = analysis.run(expr)
     if stats is not None:

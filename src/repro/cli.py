@@ -33,6 +33,10 @@ The fine-grained flags remain, one per degree of freedom:
 * ``--gc`` / ``--counting`` -- abstract garbage collection and counting;
   both now compose with every engine (the worklist engines sweep
   reachability per evaluation and saturate counts on convergence).
+* ``--transition`` -- how the transition function executes: ``generic``
+  runs the monadic normal form through the ``StorePassing`` stack,
+  ``fused`` runs the staged first-order step compiled from it
+  (identical fixed points; see PERFORMANCE.md, "The fused transition").
 
 Every combination is validated by
 :meth:`repro.config.AnalysisConfig.validated` before anything runs;
@@ -139,6 +143,7 @@ def _resolve_config(args: argparse.Namespace, lang: str):
                 gc=True if args.gc else None,
                 engine=args.engine,
                 store_impl=args.store_impl,
+                transition=args.transition,
             )
         )
         if args.k is not None:
@@ -160,6 +165,7 @@ def _resolve_config(args: argparse.Namespace, lang: str):
         store_impl=args.store_impl or "persistent",
         gc=args.gc,
         counting=args.counting,
+        transition=args.transition or "generic",
         label=args.preset or "",
     )
     return _assemble(config.validated)
@@ -228,8 +234,9 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     )
     if config.engine is not None and analysis.last_stats:
         stats = analysis.last_stats
+        fused = ", fused" if config.transition == "fused" else ""
         print(
-            f"engine: {config.engine} ({config.store_impl})  "
+            f"engine: {config.engine} ({config.store_impl}{fused})  "
             f"evaluations: {stats.get('evaluations', '-')}  "
             f"retriggers: {stats.get('retriggers', '-')}"
         )
@@ -282,6 +289,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="store representation behind the worklist engines "
         "(persistent = immutable snapshots, versioned = mutable store "
         "with per-address change versions; needs --engine worklist|depgraph)",
+    )
+    an_p.add_argument(
+        "--transition",
+        choices=("generic", "fused"),
+        default=None,
+        help="how the transition executes: the generic monadic normal "
+        "form, or the staged (fused) first-order step -- identical fixed "
+        "points, no per-bind monad dispatch (see PERFORMANCE.md)",
     )
     an_p.add_argument("--shared", action="store_true", help="single-threaded store")
     an_p.add_argument("--gc", action="store_true", help="abstract garbage collection")

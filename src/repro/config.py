@@ -10,7 +10,8 @@ declarative record:
 
 * :class:`AnalysisConfig` -- a frozen dataclass naming every degree of
   freedom (language, addressing/k, widening, engine, store
-  implementation, GC, counting), with :meth:`AnalysisConfig.validated`
+  implementation, GC, counting, transition staging), with
+  :meth:`AnalysisConfig.validated`
   as the single home of the compatibility rules (it subsumes the old
   ``check_global_store_compat`` and ``check_store_impl_scope``);
 * :data:`PRESETS` -- a registry of named, validated configurations
@@ -73,6 +74,13 @@ ADDRESSINGS = ("kcfa", "zerocfa", "concrete", "lcontext", "boundednat", "custom"
 #: exponential, 6.5); ``store`` is Shivers' single-threaded store.
 WIDENINGS = ("none", "store")
 
+#: How the transition function is executed: ``generic`` runs the monadic
+#: normal form through the ``StorePassing`` stack (the paper's 5.3.1,
+#: the source of truth); ``fused`` runs the staged first-order step
+#: compiled from it (:mod:`repro.core.fused` -- identical fixed points,
+#: no per-bind monad dispatch on the hot path).
+TRANSITIONS = ("generic", "fused")
+
 
 @dataclass(frozen=True)
 class AnalysisConfig:
@@ -93,6 +101,7 @@ class AnalysisConfig:
     store_impl: str = "persistent"
     gc: bool = False
     counting: bool = False
+    transition: str = "generic"
     label: str = ""
 
     @property
@@ -137,6 +146,11 @@ class AnalysisConfig:
             raise ValueError(
                 f"unknown store impl {config.store_impl!r}; choose one of {STORE_IMPLS}"
             )
+        if config.transition not in TRANSITIONS:
+            raise ValueError(
+                f"unknown transition {config.transition!r}; "
+                f"choose one of {TRANSITIONS}"
+            )
         if config.store_impl != "persistent" and config.engine is None:
             raise ValueError(
                 "store_impl selects a global-store engine representation; "
@@ -166,6 +180,8 @@ class AnalysisConfig:
             parts.append("gc")
         if self.counting:
             parts.append("counting")
+        if self.transition != "generic":
+            parts.append(self.transition)
         return " ".join(parts)
 
 
@@ -221,12 +237,29 @@ PRESETS: dict[str, Preset] = {
             store_impl="versioned",
         ),
         _preset(
+            "1cfa-fused",
+            "1-CFA on the staged (monad-free) transition -- the fastest path",
+            k=1,
+            engine="depgraph",
+            store_impl="versioned",
+            transition="fused",
+        ),
+        _preset(
             "1cfa-gc",
             "1-CFA with abstract GC at worklist speed (depgraph + versioned)",
             k=1,
             gc=True,
             engine="depgraph",
             store_impl="versioned",
+        ),
+        _preset(
+            "1cfa-gc-fused",
+            "GC'd 1-CFA on the staged transition (overlay + engine-side sweep)",
+            k=1,
+            gc=True,
+            engine="depgraph",
+            store_impl="versioned",
+            transition="fused",
         ),
         _preset(
             "1cfa-gc-kleene",
@@ -338,6 +371,7 @@ def build_config(
     gc: bool | None = None,
     engine: str | None = None,
     store_impl: str | None = None,
+    transition: str | None = None,
     label: str = "",
 ) -> AnalysisConfig:
     """The keyword-argument surface of the ``analyse*`` families, as a config.
@@ -368,6 +402,8 @@ def build_config(
             config = config.replace(engine=engine)
         if store_impl is not None:
             config = config.replace(store_impl=store_impl)
+        if transition is not None:
+            config = config.replace(transition=transition)
         if label:
             config = config.replace(label=label)
         return config.validated()
@@ -383,6 +419,7 @@ def build_config(
         store_impl=store_impl or "persistent",
         gc=bool(gc),
         counting=isinstance(store_like, ACounter),
+        transition=transition or "generic",
         label=label,
     ).validated()
 

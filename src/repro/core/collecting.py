@@ -12,6 +12,13 @@ shared by every language:
 
 Both optionally weave an abstract garbage collector into the step
 (6.4): ``applyStep step = ... do { s' <- step s; gc s'; return s' } ...``.
+
+Both also accept a staged :class:`~repro.core.fused.FusedTransition` in
+place of a generic monadic step: a fused step already *is* the desugared
+``(pstate, guts, store) -> [((pstate', guts'), store')]`` shape, so
+``run_config``/``run_config_pairs`` call it directly instead of going
+through ``monad.run`` -- and apply the woven-in collector as one sweep
+per branch, which is what the monadic weaving desugars to.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from __future__ import annotations
 from typing import Any, Callable, Hashable, Iterable
 
 from repro.core.fixpoint import Collecting
+from repro.core.fused import FusedTransition
 from repro.core.galois import store_sharing_alpha, store_sharing_gamma
 from repro.core.gc import GarbageCollector
 from repro.core.lattice import Lattice, PairLattice, PowersetLattice
@@ -70,9 +78,31 @@ class PerStateStoreCollecting(Collecting):
 
         return stepped
 
+    def _swept_fused(self, results: list) -> list:
+        """The woven-in collector (6.4) applied to staged results.
+
+        The generic path sequences ``step s; gc s'`` in the monad; a
+        :class:`~repro.core.fused.FusedTransition` returns its branches
+        already desugared, so the same collection is
+        ``collector.collect`` once per branch over its result store --
+        a real sweep for a :class:`~repro.core.gc.MonadicStoreCollector`
+        (going through the collector's ``store_like``, the recording
+        wrapper when dependency tracking is on, so its fetches land in
+        the open read log exactly as the monadic collector's do), and a
+        no-op for the base :class:`~repro.core.gc.GarbageCollector`,
+        mirroring its monadic no-op.
+        """
+        collect = self.collector.collect
+        return [(pair, collect(store, pair[0])) for pair, store in results]
+
     def run_config(self, step: Callable[[Any], Any], config: tuple) -> frozenset:
         """All configurations one monadic step away from ``config``."""
         (pstate, guts), store = config
+        if isinstance(step, FusedTransition):
+            results = step(pstate, guts, store)
+            if self.collector is not None:
+                results = self._swept_fused(results)
+            return frozenset(results)
         results = self.monad.run(self._instrumented(step)(pstate), guts, store)
         return frozenset(results)
 
@@ -93,6 +123,11 @@ class PerStateStoreCollecting(Collecting):
         never see it).
         """
         (pstate, guts), store = config
+        if isinstance(step, FusedTransition):
+            results = step(pstate, guts, store)
+            if instrument and self.collector is not None:
+                results = self._swept_fused(results)
+            return [pair for pair, _store in results]
         stepped = self._instrumented(step) if instrument else step
         results = self.monad.run(stepped(pstate), guts, store)
         return [pair for pair, _store in results]

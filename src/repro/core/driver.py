@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.core.collecting import PerStateStoreCollecting, SharedStoreCollecting
+from repro.core.fused import FusedTransition
 from repro.core.fixpoint import (
     ENGINES,
     STORE_IMPLS,
@@ -159,10 +160,21 @@ def run_with_engine(
     if engine == "kleene":
         evaluations = 0
 
-        def counted_step(state: Any) -> Any:
-            nonlocal evaluations
-            evaluations += 1
-            return step(state)
+        if isinstance(step, FusedTransition):
+            # staged steps carry the desugared calling convention; wrap
+            # without losing the marker the collecting domains dispatch on
+            def counted_fused(pstate: Any, guts: Any, store: Any) -> list:
+                nonlocal evaluations
+                evaluations += 1
+                return step(pstate, guts, store)
+
+            counted_step: Any = FusedTransition(counted_fused, step.language)
+        else:
+
+            def counted_step(state: Any) -> Any:
+                nonlocal evaluations
+                evaluations += 1
+                return step(state)
 
         fp = explore_fp(collecting, counted_step, initial_state, max_steps=max_steps)
         if stats is not None:

@@ -36,6 +36,17 @@ the same least fixed point -- chaotic iteration of a monotone functional
 is order-insensitive -- which the engine-equivalence test suite checks
 across all three languages.
 
+Every engine is *transition-agnostic*: the ``step`` it receives may be
+the generic monadic step (run through ``monad.run`` by the collecting
+domain) or a staged :class:`~repro.core.fused.FusedTransition` (called
+directly).  The dispatch lives in the collecting domain's
+``run_config``/``run_config_pairs`` -- the only places a step is ever
+executed -- so the loops below, including the O(delta)
+:func:`_versioned_explore` path and the GC overlay/sweep machinery, run
+either transition unchanged; the read/write-log bracketing they rely on
+is identical because a fused step routes every store operation through
+the same (possibly recording) ``store_like``.
+
 Two precision refinements that used to be Kleene-only run on the
 worklist engines as well:
 

@@ -91,6 +91,16 @@ class GarbageCollector:
         """Return the monadic no-op (override to actually collect)."""
         return self.monad.unit(None)
 
+    def collect(self, store: Any, pstate: Any) -> Any:
+        """Collect ``store`` for ``pstate`` directly (no monad).
+
+        The staged (fused) transition path calls this instead of
+        sequencing :meth:`gc` through the monad -- it is the same
+        operation desugared.  The default collector collects nothing,
+        mirroring the monadic no-op above.
+        """
+        return store
+
 
 class MonadicStoreCollector(GarbageCollector):
     """A real abstract garbage collector for any store-in-the-monad analysis.
@@ -109,3 +119,7 @@ class MonadicStoreCollector(GarbageCollector):
         return self.monad.modify_store(
             lambda store: collect_store(self.store_like, store, pstate, self.touching)
         )
+
+    def collect(self, store: Any, pstate: Any) -> Any:
+        """The real sweep, directly: ``Gamma`` applied to one store."""
+        return collect_store(self.store_like, store, pstate, self.touching)

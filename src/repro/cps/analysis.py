@@ -132,9 +132,14 @@ class CPSAnalysis:
     shared: bool
     label: str = ""
     engine: str | None = None
+    transition: str = "generic"
     last_stats: dict = field(default_factory=dict)
 
     def step(self) -> Callable[[PState], Any]:
+        if self.transition == "fused":
+            from repro.cps.fused import build_cps_fused
+
+            return build_cps_fused(self.interface)
         return lambda pstate: mnext(self.interface, pstate)
 
     def run(self, program: CExp, worklist: bool = False, max_steps: int = 1_000_000):
@@ -282,6 +287,7 @@ def assemble_cps(
         shared=config.shared,
         label=config.label,
         engine=config.engine,
+        transition=config.transition,
     )
 
 
@@ -293,6 +299,7 @@ def analyse(
     label: str = "",
     engine: str | None = None,
     store_impl: str | None = None,
+    transition: str | None = None,
     preset: str | None = None,
 ) -> CPSAnalysis:
     """Assemble an analysis from the paper's degrees of freedom.
@@ -304,7 +311,10 @@ def analyse(
     over the store-widened domain (one of
     :data:`~repro.core.fixpoint.ENGINES`), superseding ``shared``;
     ``store_impl`` picks the store representation behind the worklist
-    engines (one of :data:`~repro.core.fixpoint.STORE_IMPLS`).
+    engines (one of :data:`~repro.core.fixpoint.STORE_IMPLS`);
+    ``transition`` picks how the step executes (one of
+    :data:`repro.config.TRANSITIONS`: the generic monadic normal form,
+    or the staged fused step -- identical fixed points).
 
     ``preset`` starts from a named configuration in
     :data:`repro.config.PRESETS` instead (e.g.
@@ -321,6 +331,7 @@ def analyse(
         gc=gc,
         engine=engine,
         store_impl=store_impl,
+        transition=transition,
         label=label,
     )
     return assemble(config, addressing=addressing, store_like=store_like)
@@ -384,6 +395,7 @@ def analyse_with_engine(
     counting: bool = False,
     stats: dict | None = None,
     store_impl: str = "persistent",
+    transition: str | None = None,
 ) -> CPSAnalysisResult:
     """k-CFA over the global store under a named fixed-point engine.
 
@@ -403,6 +415,7 @@ def analyse_with_engine(
         engine=engine,
         label=f"{k}cfa-{engine}-{store_impl}",
         store_impl=store_impl,
+        transition=transition,
     )
     result = analysis.run(program)
     if stats is not None:

@@ -165,9 +165,14 @@ class FJAnalysis:
     shared: bool
     label: str = ""
     engine: str | None = None
+    transition: str = "generic"
     last_stats: dict = field(default_factory=dict)
 
     def step(self) -> Callable[[PState], Any]:
+        if self.transition == "fused":
+            from repro.fj.fused import build_fj_fused
+
+            return build_fj_fused(self.interface)
         return lambda pstate: mnext_fj(self.interface, pstate)
 
     def run(self, program: Program, worklist: bool = True, max_steps: int = 1_000_000):
@@ -292,6 +297,7 @@ def assemble_fj_from_config(
         shared=config.shared,
         label=config.label,
         engine=config.engine,
+        transition=config.transition,
     )
 
 
@@ -304,6 +310,7 @@ def analyse_fj(
     label: str = "",
     engine: str | None = None,
     store_impl: str | None = None,
+    transition: str | None = None,
     preset: str | None = None,
 ) -> FJAnalysis:
     """Assemble an FJ analysis from the shared degrees of freedom.
@@ -321,6 +328,7 @@ def analyse_fj(
         gc=gc,
         engine=engine,
         store_impl=store_impl,
+        transition=transition,
         label=label,
     )
     return assemble(
@@ -363,6 +371,7 @@ def analyse_fj_engine(
     k: int = 1,
     stats: dict | None = None,
     store_impl: str = "persistent",
+    transition: str | None = None,
 ) -> FJAnalysisResult:
     """Global-store class-flow analysis under a named fixed-point engine."""
     analysis = analyse_fj(
@@ -371,6 +380,7 @@ def analyse_fj_engine(
         engine=engine,
         label=f"fj-{k}cfa-{engine}-{store_impl}",
         store_impl=store_impl,
+        transition=transition,
     )
     result = analysis.run(program)
     if stats is not None:

@@ -98,6 +98,10 @@ def hash_consed(cls: type) -> type:
 #: The global intern pool: value -> its canonical representative.
 _POOL: dict = {}
 
+#: Cumulative pool statistics (survive :func:`clear_intern_pool`).
+_HITS = 0
+_MISSES = 0
+
 
 def intern(value: T) -> T:
     """Return the canonical representative of ``value``.
@@ -107,13 +111,32 @@ def intern(value: T) -> T:
     ``x == y``.  Values of different types never compare equal, so one
     pool serves every interned class.
 
-    The pool holds strong references for the life of the process -- the
-    right trade for batch analyses over a fixed corpus (canonical terms
-    are live for the whole run anyway).  A long-lived host that parses
-    unboundedly many distinct programs should call
-    :func:`clear_intern_pool` between independent workloads.
+    Pool lifecycle: the pool holds **strong references for the life of
+    the process** -- an unbounded global dict, which is the right trade
+    for batch analyses over a fixed corpus (canonical terms are live for
+    the whole run anyway), but not for a long-running service.  A host
+    that parses unboundedly many distinct programs should call
+    :func:`clear_intern_pool` between independent workloads and can
+    watch growth through :func:`intern_stats`.  Clearing is always safe:
+    it only forgets which representative is canonical, so values interned
+    *after* a clear stop being pointer-equal to values interned before
+    it -- but equality stays structural (``@hash_consed`` only
+    short-circuits ``__eq__`` on identity, it never requires it), so
+    mixed pre-/post-clear values still compare and hash correctly, just
+    without the identity fast path across the boundary.
     """
-    return _POOL.setdefault(value, value)
+    global _HITS, _MISSES
+    try:
+        canonical = _POOL[value]
+    except KeyError:
+        # genuinely new: install it (a miss is exactly one pool growth;
+        # re-interning the canonical object itself must count as a hit,
+        # which a setdefault identity test would get wrong)
+        _POOL[value] = value
+        _MISSES += 1
+        return value
+    _HITS += 1
+    return canonical
 
 
 def intern_pool_size() -> int:
@@ -121,6 +144,26 @@ def intern_pool_size() -> int:
     return len(_POOL)
 
 
+def intern_stats() -> dict:
+    """Pool observability for long-running hosts.
+
+    Returns ``{"size", "hits", "misses"}``: the current number of
+    canonical values, and the cumulative number of :func:`intern` calls
+    that found an existing representative (``hits``) versus installed a
+    new one (``misses``, which is also the pool's total historical
+    growth).  Hits and misses accumulate across
+    :func:`clear_intern_pool` calls, so a service can track interning
+    traffic over its whole life while bounding the pool itself.
+    """
+    return {"size": len(_POOL), "hits": _HITS, "misses": _MISSES}
+
+
 def clear_intern_pool() -> None:
-    """Drop every canonical value (test isolation; never needed in analyses)."""
+    """Drop every canonical value (bounding pool growth in long-lived hosts).
+
+    Safe at any point between workloads: existing values keep their
+    memoized hashes and structural equality; only cross-boundary
+    pointer-equality (the ``__eq__`` identity fast path between a value
+    interned before the clear and one interned after) is lost.
+    """
     _POOL.clear()

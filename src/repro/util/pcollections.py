@@ -105,7 +105,11 @@ class PMap(Mapping[K, V]):
         return PMap(d)
 
     def remove(self, key: K) -> "PMap[K, V]":
-        """Return a copy without ``key``.  Missing keys are tolerated."""
+        """Return a copy without ``key``.  Missing keys are tolerated.
+
+        Removing an absent key returns the receiver unchanged (no copy),
+        matching the :meth:`set` fast path.
+        """
         if key not in self._d:
             return self
         d = dict(self._d)
@@ -113,9 +117,25 @@ class PMap(Mapping[K, V]):
         return PMap(d)
 
     def update(self, entries: Mapping[K, V] | Iterable[Tuple[K, V]]) -> "PMap[K, V]":
-        """Return a copy with every pair in ``entries`` bound (the paper's ``//``)."""
-        d = dict(self._d)
-        d.update(entries)
+        """Return a copy with every pair in ``entries`` bound (the paper's ``//``).
+
+        When every entry is already bound to an equal value the receiver
+        is returned unchanged -- no copy, no hash invalidation -- so
+        callers keep the object-identity did-anything-change test (the
+        same fast path :meth:`set` has).  The copy is deferred until the
+        first entry that actually changes something.
+        """
+        pairs = entries.items() if isinstance(entries, Mapping) else entries
+        d: dict[K, V] | None = None
+        for key, value in pairs:
+            existing = (self._d if d is None else d).get(key, _ABSENT)
+            if existing is value or existing == value:
+                continue
+            if d is None:
+                d = dict(self._d)
+            d[key] = value
+        if d is None:
+            return self
         return PMap(d)
 
     def update_with(

@@ -215,3 +215,50 @@ class TestPresets:
     def test_program_required_without_list(self):
         with pytest.raises(SystemExit, match="program"):
             main(["analyze"])
+
+
+class TestTransitionFlag:
+    def test_fused_on_every_language(self, cps_file, lam_file, fj_file, capsys):
+        for path in (cps_file, lam_file, fj_file):
+            assert main(
+                ["analyze", path, "--engine", "depgraph", "--transition", "fused"]
+            ) == 0
+            assert "states:" in capsys.readouterr().out
+
+    def test_fused_prints_identical_flow_table(self, lam_file, capsys):
+        tables = {}
+        for transition in ("generic", "fused"):
+            assert main(
+                ["analyze", lam_file, "--engine", "depgraph",
+                 "--transition", transition]
+            ) == 0
+            out = capsys.readouterr().out
+            tables[transition] = out[: out.index("states:")]
+        assert tables["generic"] == tables["fused"]
+
+    def test_fused_reported_in_engine_stats_line(self, cps_file, capsys):
+        assert main(
+            ["analyze", cps_file, "--engine", "depgraph", "--transition", "fused"]
+        ) == 0
+        assert "fused" in capsys.readouterr().out
+
+    def test_fused_preset_runs(self, cps_file, capsys):
+        assert main(["analyze", cps_file, "--preset", "1cfa-fused"]) == 0
+        assert "states:" in capsys.readouterr().out
+
+    def test_transition_overrides_preset(self, cps_file, capsys):
+        # a generic preset paired with --transition fused runs fused
+        assert main(
+            ["analyze", cps_file, "--preset", "1cfa", "--transition", "fused"]
+        ) == 0
+        assert "fused" in capsys.readouterr().out
+
+    def test_unknown_transition_rejected_by_parser(self, cps_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["analyze", cps_file, "--transition", "jit"]
+            )
+
+    def test_transition_default_is_not_passed(self):
+        args = build_parser().parse_args(["analyze", "x.cps"])
+        assert args.transition is None

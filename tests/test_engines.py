@@ -476,3 +476,53 @@ class TestCountingEngineEquivalence:
                 KCFA(1), store_like=CountingStore(), gc=True, engine=engine, store_impl=impl
             ).run(program)
             assert result.fp == reference.fp, (engine, impl)
+
+
+class TestFusedTransitionMatrix:
+    """The transition axis joins the equivalence matrix: on every engine
+    the staged (fused) step computes the generic kleene fixed point.
+
+    The deep fused-vs-generic matrices (per engine x store-impl cell, GC
+    and counting composition, per-state domains, read/write-log parity)
+    live in ``tests/test_fused.py``; this class keeps the fused axis
+    visible next to the engine and store-impl matrices it extends --
+    every row compares against the one generic kleene reference.
+    """
+
+    ENGINE_IMPLS = [
+        ("kleene", "persistent"),
+        ("worklist", "persistent"),
+        ("worklist", "versioned"),
+        ("depgraph", "persistent"),
+        ("depgraph", "versioned"),
+    ]
+
+    @pytest.mark.parametrize("name", CPS_NAMES)
+    def test_cps_corpus(self, name):
+        program = CPS_PROGRAMS[name]
+        reference = analyse_with_engine(program, "kleene", k=1)
+        for engine, impl in self.ENGINE_IMPLS:
+            result = analyse_with_engine(
+                program, engine, k=1, store_impl=impl, transition="fused"
+            )
+            assert result.fp == reference.fp, (engine, impl)
+
+    @pytest.mark.parametrize("name", LAM_NAMES)
+    def test_lam_corpus(self, name):
+        expr = LAM_PROGRAMS[name]
+        reference = analyse_cesk_engine(expr, "kleene", k=1)
+        for engine, impl in self.ENGINE_IMPLS:
+            result = analyse_cesk_engine(
+                expr, engine, k=1, store_impl=impl, transition="fused"
+            )
+            assert result.fp == reference.fp, (engine, impl)
+
+    @pytest.mark.parametrize("name", FJ_NAMES)
+    def test_fj_corpus(self, name):
+        program = FJ_PROGRAMS[name]
+        reference = analyse_fj_engine(program, "kleene", k=1)
+        for engine, impl in self.ENGINE_IMPLS:
+            result = analyse_fj_engine(
+                program, engine, k=1, store_impl=impl, transition="fused"
+            )
+            assert result.fp == reference.fp, (engine, impl)

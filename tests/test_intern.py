@@ -116,3 +116,84 @@ class TestIntern:
         before = intern_pool_size()
         intern(Ref("fresh-pool-entry"))
         assert intern_pool_size() >= before
+
+
+class TestPoolLifecycle:
+    """``intern_stats`` / ``clear_intern_pool``: the pool in long-lived hosts.
+
+    The pool is a global, unbounded, strong-reference dict -- fine for
+    batch corpus analyses, unacceptable for a service that parses
+    unboundedly many distinct programs.  These tests pin the escape
+    hatch: stats expose growth, clearing bounds it, and clearing never
+    breaks the identity-fast ``__eq__`` (equality stays structural; only
+    cross-boundary pointer identity is lost).
+    """
+
+    def test_intern_stats_shape(self):
+        from repro.util.intern import intern_stats
+
+        stats = intern_stats()
+        assert set(stats) == {"size", "hits", "misses"}
+        assert stats["size"] == intern_pool_size()
+
+    def test_stats_count_hits_and_misses(self):
+        from repro.util.intern import intern_stats
+
+        before = intern_stats()
+        intern(Ref("stats-miss-probe"))  # new: a miss
+        intern(Ref("stats-miss-probe"))  # equal again: a hit
+        after = intern_stats()
+        assert after["misses"] >= before["misses"] + 1
+        assert after["hits"] >= before["hits"] + 1
+
+    def test_reinterning_the_canonical_object_is_a_hit(self):
+        """misses == total pool growth: re-canonicalizing the canonical
+        object itself must not count as a miss."""
+        from repro.util.intern import intern_stats
+
+        canonical = intern(Ref("canonical-hit-probe"))
+        before = intern_stats()
+        assert intern(canonical) is canonical
+        after = intern_stats()
+        assert after["misses"] == before["misses"]
+        assert after["hits"] == before["hits"] + 1
+        assert after["size"] == before["size"]
+
+    def test_clear_empties_the_pool_but_stats_accumulate(self):
+        from repro.util.intern import clear_intern_pool, intern_stats
+
+        intern(Ref("clear-probe"))
+        grown = intern_stats()
+        assert grown["size"] > 0
+        clear_intern_pool()
+        cleared = intern_stats()
+        assert cleared["size"] == 0
+        # hits/misses survive the clear: traffic is observable for the
+        # process's whole life even when the pool itself is bounded
+        assert cleared["misses"] >= grown["misses"]
+
+    def test_clear_does_not_break_identity_fast_eq(self):
+        from repro.util.intern import clear_intern_pool
+
+        old = intern(Ref("survivor"))
+        clear_intern_pool()
+        new = intern(Ref("survivor"))
+        # canonical representatives diverge across the boundary ...
+        assert new is not old
+        # ... but equality and hashing stay structural in every mix
+        assert new == old and old == new
+        assert hash(new) == hash(old)
+        assert len({new, old}) == 1
+        # and the identity fast path still fires within each epoch
+        assert intern(Ref("survivor")) is new
+
+    def test_clear_keeps_memoized_hashes_valid(self):
+        from repro.util.intern import clear_intern_pool
+
+        term = parse_cexp("((lambda (x k) (k x)) (lambda (y j) (j y)) (lambda (r) (exit)))")
+        h = hash(term)
+        clear_intern_pool()
+        assert hash(term) == h  # the memo lives on the instance, not the pool
+        assert term == parse_cexp(
+            "((lambda (x k) (k x)) (lambda (y j) (j y)) (lambda (r) (exit)))"
+        )

@@ -389,3 +389,138 @@ class TestDoNotation:
     def test_list_monoid(self):
         assert LIST_MONOID.mappend((1,), (2,)) == (1, 2)
         assert LIST_MONOID.mempty == ()
+
+
+class TestMonadLawsEffectful:
+    """The three laws under *effectful* Kleisli arrows (the fused path's spec).
+
+    The generic law test above uses pure arrows (``unit . f``), for which
+    the laws hold in any pointed functor.  The staged transition backend
+    (``repro.core.fused``) unfolds binds whose arrows branch, read and
+    write -- so the laws are pinned here for exactly the three monads the
+    analyses execute: ``ListMonad`` (nondeterminism), ``StateT``
+    (threading) and ``StorePassing`` (the full two-level stack).
+    """
+
+    def _check(self, monad, run, unit, f, g, value):
+        # left identity: unit a >>= f == f a
+        assert run(monad.bind(unit(value), f)) == run(f(value))
+        # right identity: m >>= unit == m
+        m = f(value)
+        assert run(monad.bind(m, monad.unit)) == run(m)
+        # associativity: (m >>= f) >>= g == m >>= (\x -> f x >>= g)
+        lhs = monad.bind(monad.bind(m, f), g)
+        rhs = monad.bind(m, lambda x: monad.bind(f(x), g))
+        assert run(lhs) == run(rhs)
+
+    @given(ints)
+    def test_list_monad_laws_with_branching_arrows(self, a):
+        m = ListMonad()
+        self._check(
+            m,
+            run=lambda mv: mv,
+            unit=m.unit,
+            f=lambda x: [x, x + 1, x + 2],  # widens
+            g=lambda y: [] if y % 2 else [y, -y],  # prunes and branches
+            value=a,
+        )
+
+    @given(ints)
+    def test_statet_laws_with_state_effects(self, a):
+        m = StateT(ListMonad())
+        self._check(
+            m,
+            run=lambda mv: m.run(mv, 3),
+            unit=m.unit,
+            # reads the state, writes it back changed, branches underneath
+            f=lambda x: m.bind(m.get_state(), lambda s: m.bind(
+                m.put_state(s + 1), lambda _: m.lift([x + s, x - s]))),
+            g=lambda y: m.bind(m.modify(lambda s: s * 2), lambda _: m.unit(y)),
+            value=a,
+        )
+
+    @given(ints)
+    def test_storepassing_laws_with_guts_and_store_effects(self, a):
+        sp = StorePassing()
+
+        def f(x):  # tick-like: advance the guts, then branch on the store
+            return sp.bind(
+                sp.modify_guts(lambda g: g + 1),
+                lambda _: sp.gets_nd_store(lambda s: sorted(s | {x})),
+            )
+
+        def g(y):  # bind-like: grow the store, return the value
+            return sp.bind(
+                sp.modify_store(lambda s: s | {y}), lambda _: sp.unit(y)
+            )
+
+        self._check(
+            sp,
+            run=lambda mv: sp.run(mv, 0, frozenset({5})),
+            unit=sp.unit,
+            f=f,
+            g=g,
+            value=a,
+        )
+
+
+class TestRunDoReplaySemantics:
+    """``run_do``'s replay model, pinned (the cost the fused path removes).
+
+    A generator cannot be forked, so :func:`repro.core.monads.run_do`
+    re-executes the do-block from scratch for every nondeterministic
+    branch, feeding back the prefix of already-chosen values.  These
+    tests pin both halves of that contract: the *count* of replays
+    (O(branches x binds) generator executions -- the documented cost
+    model in ``core/monads.py`` and PERFORMANCE.md) and the *discipline*
+    it imposes (the block must be deterministic in its fed-back inputs).
+    """
+
+    def test_replay_count_is_one_plus_branch_prefixes(self):
+        m = ListMonad()
+        executions = []
+
+        def block():
+            executions.append("start")
+            x = yield [1, 2, 3]
+            y = yield [10, 20]
+            return x + y
+
+        result = run_do(m, block)
+        assert result == [11, 21, 12, 22, 13, 23]
+        # one execution discovers the first bind, one per prefix after:
+        # 1 (initial) + 3 (per x, to reach the y bind) + 6 (per (x, y),
+        # to reach the return) = 10 generator runs for 6 results
+        assert len(executions) == 1 + 3 + 6
+
+    def test_replay_feeds_back_chosen_prefixes_in_order(self):
+        m = ListMonad()
+        seen = []
+
+        def block():
+            x = yield [1, 2]
+            seen.append(x)
+            y = yield [x * 10]
+            seen.append((x, y))
+            return y
+
+        assert run_do(m, block) == [10, 20]
+        # per x-branch: one partial run discovers the second bind (bare
+        # x), then the completing run replays the whole prefix
+        assert seen == [1, 1, (1, 10), 2, 2, (2, 20)]
+
+    def test_deterministic_blocks_are_replay_safe(self):
+        """The contract: side-effect-free blocks give branch-independent
+        results.  A block whose choices depend on mutated external state
+        would violate the discipline; the semantics in this package are
+        pure in their fed-back inputs, which the fused backends rely on
+        when they stage the block into a single pass."""
+        m = ListMonad()
+
+        def block(base):
+            x = yield [base, base + 1]
+            y = yield [100]
+            return x + y
+
+        assert run_do(m, block, 5) == [105, 106]
+        assert run_do(m, block, 5) == [105, 106]  # replays are idempotent

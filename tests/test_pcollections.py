@@ -131,3 +131,67 @@ class TestPMapProperties:
         m1 = pmap(entries)
         m2 = pmap(list(entries.items()))
         assert m1 == m2 and hash(m1) == hash(m2)
+
+
+class TestPMapNoOpFastPaths:
+    """``set``/``update``/``remove`` return ``self`` when nothing changes.
+
+    The fixed-point engines use object identity as a did-anything-change
+    test, so a no-op "mutator" must not allocate a structurally equal
+    copy.  ``set`` gained the fast path first; ``update`` and ``remove``
+    are pinned here alongside it.
+    """
+
+    def test_set_equal_value_returns_self(self):
+        m = pmap({"a": 1})
+        assert m.set("a", 1) is m
+
+    def test_update_all_equal_returns_self(self):
+        m = pmap({"a": 1, "b": 2})
+        assert m.update({"a": 1, "b": 2}) is m
+
+    def test_update_empty_entries_returns_self(self):
+        m = pmap({"a": 1})
+        assert m.update({}) is m
+        assert m.update([]) is m
+
+    def test_update_from_pairs_all_equal_returns_self(self):
+        m = pmap({"a": 1, "b": 2})
+        assert m.update([("b", 2), ("a", 1)]) is m
+
+    def test_update_copies_when_any_entry_changes(self):
+        m = pmap({"a": 1, "b": 2})
+        m2 = m.update({"a": 1, "b": 3})
+        assert m2 is not m
+        assert m2 == pmap({"a": 1, "b": 3})
+        assert m == pmap({"a": 1, "b": 2})  # receiver untouched
+
+    def test_update_binds_new_keys(self):
+        m = pmap({"a": 1})
+        m2 = m.update({"a": 1, "c": 9})
+        assert m2 is not m
+        assert m2 == pmap({"a": 1, "c": 9})
+
+    def test_update_later_entries_win_even_after_equal_prefix(self):
+        # dict.update semantics: rightmost binding wins, including when
+        # an earlier pair for the same key was a no-op
+        m = pmap({"a": 1})
+        m2 = m.update([("a", 1), ("a", 5)])
+        assert m2 == pmap({"a": 5})
+
+    def test_remove_missing_key_returns_self(self):
+        m = pmap({"a": 1})
+        assert m.remove("zzz") is m
+
+    def test_remove_present_key_copies(self):
+        m = pmap({"a": 1, "b": 2})
+        m2 = m.remove("a")
+        assert m2 is not m
+        assert m2 == pmap({"b": 2})
+        assert m == pmap({"a": 1, "b": 2})
+
+    def test_noop_update_preserves_cached_hash(self):
+        m = pmap({"a": 1})
+        h = hash(m)
+        assert hash(m.update({"a": 1})) == h
+        assert m.update({"a": 1})._hash is not None

@@ -1,0 +1,159 @@
+"""cProfile any preset x workload: where does an analysis spend its time?
+
+The staging work (PERFORMANCE.md, "The fused transition") was guided by
+exactly this view: the generic transition's profile is a wall of
+``StateT.bind``/``<lambda>`` frames, the fused one is flat.  Keep it that
+way -- profile before optimizing::
+
+    PYTHONPATH=src python tools/profile_analysis.py --preset 1cfa \\
+        --lang cps --workload id-chain-200
+    PYTHONPATH=src python tools/profile_analysis.py --preset 1cfa-fused \\
+        --lang lam --workload church-two-two --top 15
+    PYTHONPATH=src python tools/profile_analysis.py --lang fj \\
+        --workload visitor --engine depgraph --store-impl versioned \\
+        --transition fused --sort tottime
+
+Workloads are corpus program names (``repro.corpus``); for CPS the
+synthetic ``id-chain-N`` family is also understood.  Flags mirror the
+CLI: ``--preset`` names a registry entry, and the fine-grained flags
+(``--k``, ``--engine``, ``--store-impl``, ``--transition``, ``--gc``,
+``--counting``) override its fields.  One deliberate difference from
+``repro analyze``: without ``--preset`` this tool defaults to the fast
+global-store configuration (``depgraph`` + ``versioned``), because
+that is the hot path worth profiling -- ``repro analyze`` without flags
+runs the per-state domain instead.  Pass ``--engine``/``--store-impl``
+explicitly to profile another point.  Everything assembles through
+``repro.config``, so a profiled configuration is exactly what the CLI
+and tests run for the same settings.
+
+Stdlib only (cProfile/pstats), like the rest of the tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+
+
+def _corpus(lang: str) -> dict:
+    if lang == "cps":
+        from repro.corpus.cps_programs import PROGRAMS
+
+        return dict(PROGRAMS)
+    if lang == "lam":
+        from repro.corpus.lam_programs import PROGRAMS
+
+        return dict(PROGRAMS)
+    from repro.corpus.fj_programs import PROGRAMS
+
+    return dict(PROGRAMS)
+
+
+def resolve_workload(lang: str, name: str):
+    """A corpus program by name; CPS also accepts synthetic ``id-chain-N``."""
+    if lang == "cps" and name.startswith("id-chain-"):
+        from repro.corpus.cps_programs import id_chain
+
+        return id_chain(int(name.rsplit("-", 1)[1]))
+    programs = _corpus(lang)
+    try:
+        return programs[name]
+    except KeyError:
+        known = ", ".join(sorted(programs))
+        raise SystemExit(
+            f"unknown {lang} workload {name!r}; choose one of: {known}"
+            + (" (or id-chain-N)" if lang == "cps" else "")
+        ) from None
+
+
+def build_analysis(args: argparse.Namespace, program):
+    from repro.config import AnalysisConfig, assemble, build_config
+    from repro.core.store import CountingStore
+
+    if args.preset:
+        config = build_config(
+            args.lang,
+            preset=args.preset,
+            store_like=CountingStore() if args.counting else None,
+            gc=True if args.gc else None,
+            engine=args.engine,
+            store_impl=args.store_impl,
+            transition=args.transition,
+        )
+        if args.k is not None:
+            config = config.replace(k=args.k).validated()
+    else:
+        engine = args.engine or "depgraph"
+        # kleene pairs only with the persistent store; mirror the CLI's
+        # fallback instead of crashing on the documented --engine kleene
+        default_impl = "persistent" if engine == "kleene" else "versioned"
+        config = AnalysisConfig(
+            language=args.lang,
+            k=1 if args.k is None else args.k,
+            widening="store",
+            engine=engine,
+            store_impl=args.store_impl or default_impl,
+            gc=args.gc,
+            counting=args.counting,
+            transition=args.transition or "generic",
+        ).validated()
+    return assemble(config, program=program), config
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--lang", required=True, choices=("cps", "lam", "fj"))
+    parser.add_argument(
+        "--workload",
+        required=True,
+        help="corpus program name (CPS also accepts id-chain-N)",
+    )
+    parser.add_argument("--preset", default=None, help="repro.config.PRESETS entry")
+    parser.add_argument("--k", type=int, default=None)
+    parser.add_argument(
+        "--engine",
+        choices=("kleene", "worklist", "depgraph"),
+        help="fixed-point engine (default without --preset: depgraph, "
+        "the hot path -- unlike `repro analyze`, which defaults per-state)",
+    )
+    parser.add_argument(
+        "--store-impl",
+        choices=("persistent", "versioned"),
+        help="store representation (default without --preset: versioned)",
+    )
+    parser.add_argument("--transition", choices=("generic", "fused"))
+    parser.add_argument("--gc", action="store_true")
+    parser.add_argument("--counting", action="store_true")
+    parser.add_argument("--top", type=int, default=25, help="rows to print")
+    parser.add_argument(
+        "--sort",
+        default="cumulative",
+        choices=("cumulative", "tottime", "calls"),
+        help="pstats sort order",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=1, help="profile N back-to-back runs"
+    )
+    args = parser.parse_args(argv)
+
+    program = resolve_workload(args.lang, args.workload)
+    analysis, config = build_analysis(args, program)
+    print(f"profiling {config.describe()} on {args.lang}/{args.workload}", file=sys.stderr)
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for _ in range(args.repeat):
+        analysis.run(program)
+    profiler.disable()
+
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    if analysis.last_stats:
+        print(f"engine stats: {analysis.last_stats}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
