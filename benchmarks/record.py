@@ -1,22 +1,32 @@
 """Record the engine-suite benchmark trajectory to ``BENCH_<n>.json``.
 
 Runs every fixed-point engine / store-impl combination over one workload
-per language -- plus the abstract-GC workloads, a counting workload, and
-the generic-vs-fused transition rows -- and writes a machine-readable
-baseline, so each PR leaves a ``BENCH_*.json`` behind and regressions
-are visible as a series rather than one-off pytest-benchmark artifacts::
+per language -- plus the abstract-GC workloads, a counting workload, the
+generic-vs-fused transition rows, and the service-layer workloads
+(sharded batch pool, fixpoint-cache hits, warm-start re-analysis) -- and
+writes a machine-readable baseline, so each PR leaves a ``BENCH_*.json``
+behind and regressions are visible as a series rather than one-off
+pytest-benchmark artifacts::
 
-    PYTHONPATH=src python benchmarks/record.py            # writes BENCH_4.json
+    PYTHONPATH=src python benchmarks/record.py            # next BENCH_<n>.json
     PYTHONPATH=src python benchmarks/record.py --check    # also gate on speedup
+    PYTHONPATH=src python benchmarks/record.py --output BENCH_9.json \\
+        --baseline BENCH_4.json                           # compare to a prior PR
+
+``--output`` defaults to the next free ``BENCH_<n>.json`` in the
+working directory and ``--baseline`` prints per-workload deltas against
+any earlier record, so growing the series requires no code edits.
 
 Every workload is assembled through :func:`repro.config.assemble` -- the
 benchmark harness exercises the same configuration layer as the CLI and
-the tests.
+the tests; the service workloads go through
+:func:`repro.service.batch.run_batch` and the warm-start engine path,
+the same code the ``repro batch`` CLI runs.
 
 The JSON shape (see PERFORMANCE.md for how to read it)::
 
     {
-      "schema": "engine-suite/2",
+      "schema": "engine-suite/3",
       "workloads": {
         "<workload>": {
           "<engine>/<store_impl>": {            # generic transition
@@ -32,6 +42,13 @@ The JSON shape (see PERFORMANCE.md for how to read it)::
           "depgraph-versioned-over-kleene-persistent": float,
           "fused-over-generic-depgraph-versioned": float, ...
         }
+      },
+      "service": {
+        "batch-pool":  {"serial_seconds", "pool_seconds", "workers",
+                        "jobs", "speedup", "cpu_count"},
+        "cache":       {"cold_seconds", "hit_seconds", "speedup"},
+        "warm-chain":  {"cold_seconds", "warm_seconds", "speedup",
+                        "cold_evaluations", "warm_evaluations"}
       }
     }
 
@@ -40,22 +57,28 @@ nine times), so millisecond-scale cells are stable enough to gate on.
 
 ``--check`` exits non-zero when (a) the depgraph/versioned configuration
 is less than ``--min-speedup`` (default 2.0) times faster than kleene on
-any workload that runs both, or (b) the fused transition is less than
+any workload that runs both, (b) the fused transition is less than
 ``--min-fused-speedup`` (default 2.0) times faster than the generic
-transition on any workload carrying both depgraph/versioned rows -- the
-CI regression gates for the engine work and the staging work
-respectively.
+transition on any workload carrying both depgraph/versioned rows, (c)
+the 4-worker batch pool is less than ``--min-pool-speedup`` (default
+2.0) times faster than the serial sweep -- skipped with a notice when
+the machine has fewer cores than workers, since a pool cannot beat
+serial on one core -- or (d) warm-starting the one-edit chain workload
+is less than ``--min-warm-speedup`` (default 5.0) times faster than
+re-analysing it cold.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import re
 import sys
 import time
 
-from repro.config import AnalysisConfig, assemble
-from repro.corpus.cps_programs import id_chain
+from repro.config import AnalysisConfig, assemble, preset_config
+from repro.corpus.cps_programs import id_chain, id_chain_edited
 from repro.corpus.fj_programs import PROGRAMS as FJ_PROGRAMS
 from repro.corpus.lam_programs import PROGRAMS as LAM_PROGRAMS
 
@@ -171,9 +194,161 @@ def _row_key(engine: str, impl: str, transition: str) -> str:
     return key if transition == "generic" else f"{key}/{transition}"
 
 
+#: The one-edit warm-start workload: chain length for ``id_chain``.
+WARM_CHAIN_LENGTH = 400
+
+#: Worker count for the pool-speedup row (and its gate).
+POOL_WORKERS = 4
+
+
+def _pool_jobs() -> list:
+    """The corpus sweep behind the pool-speedup row.
+
+    Several roughly-balanced, substantial cells (no single job dominates,
+    so 4 workers have real parallelism to find), built from the same
+    corpus programs the engine rows time.
+    """
+    from repro.service.batch import BatchJob
+
+    church = [
+        ("1cfa", {}),
+        ("1cfa", {"store_impl": "persistent"}),
+        ("1cfa", {"engine": "worklist"}),
+        ("1cfa-gc", {}),
+        ("1cfa-gc-fused", {}),
+        ("kcfa-counting-fast", {}),
+    ]
+    jobs = [
+        BatchJob(
+            config=preset_config(name, "lam").replace(**overrides),
+            corpus="church-two-two",
+            label=f"lam/church/{name}{'+' if overrides else ''}",
+        )
+        for name, overrides in church
+    ]
+    from repro.cps.syntax import pp
+    from repro.service.cache import ensure_deep_pickle
+
+    ensure_deep_pickle()  # pp/parse of a deep chain out-recurse the default
+    chain_source = pp(id_chain(500))
+    jobs.append(
+        BatchJob(
+            config=preset_config("1cfa", "cps").replace(store_impl="persistent"),
+            source=chain_source,
+            label="cps/chain-500/1cfa-persistent",
+        )
+    )
+    jobs.append(
+        BatchJob(
+            config=preset_config("1cfa-gc", "fj"),
+            corpus="list-walk",
+            label="fj/list-walk/1cfa-gc",
+        )
+    )
+    return jobs
+
+
+def run_service_suite() -> dict:
+    """Time the service layer: pool sharding, cache hits, warm starts."""
+    import tempfile
+
+    from repro.service.batch import run_batch
+    from repro.service.cache import FixpointCache
+    from repro.service.incremental import reanalyse
+
+    service: dict = {}
+
+    jobs = _pool_jobs()
+    start = time.perf_counter()
+    serial = run_batch(jobs, workers=1)
+    serial_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    pooled = run_batch(jobs, workers=POOL_WORKERS)
+    pool_seconds = time.perf_counter() - start
+    for left, right in zip(serial.outcomes, pooled.outcomes):
+        assert left.fp == right.fp, f"pool/serial mismatch on {left.job.label}"
+    service["batch-pool"] = {
+        "jobs": len(jobs),
+        "workers": POOL_WORKERS,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": round(serial_seconds, 6),
+        "pool_seconds": round(pool_seconds, 6),
+        "speedup": round(serial_seconds / pool_seconds, 2),
+    }
+    print(
+        f"{'service-batch-pool':28s} serial {serial_seconds:7.3f}s  "
+        f"pool({POOL_WORKERS}) {pool_seconds:7.3f}s  "
+        f"{service['batch-pool']['speedup']:.2f}x",
+        file=sys.stderr,
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = FixpointCache(root=tmp)
+        config = preset_config("1cfa-gc", "lam")
+        program = LAM_PROGRAMS["church-two-two"]
+        cold = reanalyse(config, program, cache)
+        hit = reanalyse(config, program, cache)
+        assert hit.mode == "cache-hit" and hit.fp == cold.fp
+        service["cache"] = {
+            "cold_seconds": round(cold.seconds, 6),
+            "hit_seconds": round(hit.seconds, 6),
+            "speedup": round(cold.seconds / hit.seconds, 2),
+        }
+    print(
+        f"{'service-cache':28s} cold   {service['cache']['cold_seconds']:7.3f}s  "
+        f"hit     {service['cache']['hit_seconds']:7.3f}s  "
+        f"{service['cache']['speedup']:.2f}x",
+        file=sys.stderr,
+    )
+
+    from repro.core.fixpoint import FixpointCapture
+
+    config = preset_config("1cfa", "cps")
+    base = id_chain(WARM_CHAIN_LENGTH)
+    edited = id_chain_edited(WARM_CHAIN_LENGTH)
+    capture = FixpointCapture()
+    base_result = assemble(config).run(base, capture=capture)
+    seed = capture.warm_start(base_result.fp[1])
+
+    cold_stats: dict = {}
+    warm_stats: dict = {}
+    cold_seconds = warm_seconds = None
+    for _ in range(3):  # best-of-3: both cells are well under a second
+        analysis = assemble(config)
+        start = time.perf_counter()
+        cold_result = analysis.run(edited)
+        elapsed = time.perf_counter() - start
+        if cold_seconds is None or elapsed < cold_seconds:
+            cold_seconds, cold_stats = elapsed, dict(analysis.last_stats)
+        analysis = assemble(config)
+        start = time.perf_counter()
+        warm_result = analysis.run(edited, warm_start=seed)
+        elapsed = time.perf_counter() - start
+        if warm_seconds is None or elapsed < warm_seconds:
+            warm_seconds, warm_stats = elapsed, dict(analysis.last_stats)
+        assert warm_result.fp == cold_result.fp, "warm-start fp mismatch"
+    service["warm-chain"] = {
+        "chain_length": WARM_CHAIN_LENGTH,
+        "cold_seconds": round(cold_seconds, 6),
+        "warm_seconds": round(warm_seconds, 6),
+        "speedup": round(cold_seconds / warm_seconds, 2),
+        "cold_evaluations": cold_stats.get("evaluations"),
+        "warm_evaluations": warm_stats.get("evaluations"),
+        "reused": warm_stats.get("reused"),
+    }
+    print(
+        f"{'service-warm-chain':28s} cold   {cold_seconds:7.3f}s  "
+        f"warm    {warm_seconds:7.3f}s  "
+        f"{service['warm-chain']['speedup']:.2f}x "
+        f"(evals {cold_stats.get('evaluations')} -> {warm_stats.get('evaluations')})",
+        file=sys.stderr,
+    )
+    return service
+
+
 def run_suite() -> dict:
     record: dict = {
-        "schema": "engine-suite/2",
+        "schema": "engine-suite/3",
         "python": sys.version.split()[0],
         "workloads": {},
         "speedups": {},
@@ -210,17 +385,29 @@ def run_suite() -> dict:
                 fast["seconds"] / fused["seconds"], 2
             )
         record["speedups"][label] = speedups
+    record["service"] = run_service_suite()
     return record
 
 
-def check(record: dict, min_speedup: float, min_fused_speedup: float) -> list[str]:
+def check(
+    record: dict,
+    min_speedup: float,
+    min_fused_speedup: float,
+    min_pool_speedup: float = 2.0,
+    min_warm_speedup: float = 5.0,
+) -> list[str]:
     """The CI gates.
 
     * depgraph/versioned must beat kleene by ``min_speedup`` on every
       workload that ran both (the ``*-gc`` rows included, so a
       regression in the worklist GC path fails the build too);
     * the fused transition must beat the generic one by
-      ``min_fused_speedup`` on the :data:`FUSED_GATED` workloads.
+      ``min_fused_speedup`` on the :data:`FUSED_GATED` workloads;
+    * the :data:`POOL_WORKERS`-worker batch pool must beat the serial
+      sweep by ``min_pool_speedup`` -- skipped (with a notice) when the
+      machine has fewer cores than workers, where no pool can win;
+    * the one-edit warm start must beat the cold re-analysis by
+      ``min_warm_speedup``.
     """
     failures = []
     for label, speedups in record["speedups"].items():
@@ -240,30 +427,109 @@ def check(record: dict, min_speedup: float, min_fused_speedup: float) -> list[st
                 f"{label}: fused transition only {fused_ratio:.2f}x over generic "
                 f"(need >= {min_fused_speedup:.1f}x)"
             )
+    service = record.get("service", {})
+    pool = service.get("batch-pool")
+    if pool is not None:
+        cores = pool.get("cpu_count") or 0
+        if cores < pool["workers"]:
+            print(
+                f"pool gate skipped: {cores} core(s) < {pool['workers']} workers",
+                file=sys.stderr,
+            )
+        elif pool["speedup"] < min_pool_speedup:
+            failures.append(
+                f"service-batch-pool: only {pool['speedup']:.2f}x over serial "
+                f"on {pool['workers']} workers (need >= {min_pool_speedup:.1f}x)"
+            )
+    warm = service.get("warm-chain")
+    if warm is not None and warm["speedup"] < min_warm_speedup:
+        failures.append(
+            f"service-warm-chain: warm start only {warm['speedup']:.2f}x over "
+            f"cold (need >= {min_warm_speedup:.1f}x)"
+        )
     return failures
+
+
+def next_output_name(directory: str = ".") -> str:
+    """The next free ``BENCH_<n>.json`` -- no code edit per PR required."""
+    taken = [
+        int(match.group(1))
+        for name in os.listdir(directory)
+        if (match := re.fullmatch(r"BENCH_(\d+)\.json", name))
+    ]
+    return f"BENCH_{max(taken, default=0) + 1}.json"
+
+
+def compare_to_baseline(record: dict, baseline_path: str) -> None:
+    """Print per-workload speedup deltas against an earlier BENCH record.
+
+    Informational, never a gate: absolute times are machine-bound, so the
+    series is read by a human (or plotted), while the ``--check`` gates
+    stay ratio-based within one run.
+    """
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    print(f"-- vs {baseline_path} --", file=sys.stderr)
+    for label, rows in record["workloads"].items():
+        base_rows = baseline.get("workloads", {}).get(label)
+        if not base_rows:
+            continue
+        for key, cell in rows.items():
+            base_cell = base_rows.get(key)
+            if not base_cell or not base_cell.get("seconds"):
+                continue
+            ratio = cell["seconds"] / base_cell["seconds"]
+            print(
+                f"  {label:28s} {key:32s} {base_cell['seconds']:8.3f}s -> "
+                f"{cell['seconds']:8.3f}s ({ratio:5.2f}x)",
+                file=sys.stderr,
+            )
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--output", default="BENCH_4.json", help="where to write the record")
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="where to write the record (default: the next free BENCH_<n>.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="an earlier BENCH_<n>.json to print per-cell deltas against",
+    )
     parser.add_argument(
         "--check",
         action="store_true",
         help="exit non-zero if depgraph/versioned regresses below --min-speedup "
-        "over kleene, or fused below --min-fused-speedup over generic",
+        "over kleene, fused below --min-fused-speedup over generic, the batch "
+        "pool below --min-pool-speedup over serial, or the warm start below "
+        "--min-warm-speedup over cold",
     )
     parser.add_argument("--min-speedup", type=float, default=2.0)
     parser.add_argument("--min-fused-speedup", type=float, default=2.0)
+    parser.add_argument("--min-pool-speedup", type=float, default=2.0)
+    parser.add_argument("--min-warm-speedup", type=float, default=5.0)
     args = parser.parse_args(argv)
 
+    output = args.output or next_output_name()
     record = run_suite()
-    with open(args.output, "w") as handle:
+    with open(output, "w") as handle:
         json.dump(record, handle, indent=2, sort_keys=True)
         handle.write("\n")
-    print(f"wrote {args.output}", file=sys.stderr)
+    print(f"wrote {output}", file=sys.stderr)
+
+    if args.baseline:
+        compare_to_baseline(record, args.baseline)
 
     if args.check:
-        failures = check(record, args.min_speedup, args.min_fused_speedup)
+        failures = check(
+            record,
+            args.min_speedup,
+            args.min_fused_speedup,
+            args.min_pool_speedup,
+            args.min_warm_speedup,
+        )
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)
         if failures:

@@ -7,6 +7,16 @@
     python -m repro analyze PROGRAM.lam  --preset 1cfa-gc
     python -m repro analyze PROGRAM.fj   --lang fj  --k 0 --check-casts
     python -m repro analyze PROGRAM.cps  --engine depgraph
+    python -m repro batch   P1.cps P2.lam --preset 1cfa --preset 0cfa \\
+                            --jobs 4 --cache-dir .fixcache --report out.json
+
+``batch`` is the service layer's front door (:mod:`repro.service`): it
+builds the grid of every given program x every ``--preset``, consults
+the content-addressed fixpoint cache (``--cache-dir``; ``--no-cache``
+to bypass a configured one), fans the misses across ``--jobs`` worker
+processes, and writes a deterministic machine-readable report
+(``--report``).  Re-running the same command is then mostly cache hits
+-- the CI cache-smoke job asserts exactly that.
 
 ``analyze`` prints the reached-state count, the flows-to (or class-flow)
 table and, where requested, counting/cast diagnostics.  The language
@@ -243,6 +253,66 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_batch(args: argparse.Namespace) -> int:
+    from repro.config import preset_config
+    from repro.service.batch import BatchJob, jobs_for, run_batch
+
+    if not args.programs and not args.corpus:
+        raise SystemExit("batch needs program files and/or --corpus LANG")
+    presets = args.preset or ["1cfa"]
+    jobs = _assemble(
+        lambda: jobs_for(
+            [
+                (detect_language(path, args.lang), Path(path).name, read_source(path))
+                for path in args.programs
+            ],
+            presets,
+        )
+    )
+    for lang in args.corpus:
+        from repro.corpus import corpus_programs
+
+        programs = _assemble(lambda: corpus_programs(lang))
+        for name in sorted(programs):
+            for preset in presets:
+                jobs.append(
+                    BatchJob(
+                        config=_assemble(lambda: preset_config(preset, lang)),
+                        corpus=name,
+                        label=f"{lang}:{name}/{preset}",
+                    )
+                )
+
+    report = run_batch(
+        jobs,
+        workers=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+    rows = [
+        (
+            outcome.job.describe(),
+            "hit" if outcome.cached else "miss",
+            f"{outcome.seconds:.4f}",
+            str(outcome.result.num_states()),
+            str(outcome.result.store_size()),
+        )
+        for outcome in report.outcomes
+    ]
+    print(fmt_table(["job", "cache", "seconds", "states", "store"], rows))
+    if report.cache_stats:
+        stats = report.cache_stats
+        print(
+            f"\ncache: {stats['hits']} hits, {stats['misses']} misses, "
+            f"{stats['entries']} entries"
+        )
+    print(f"total: {report.total_seconds:.3f}s across {report.workers} worker(s)")
+    if args.report:
+        Path(args.report).write_text(report.render(include_flows=args.flows))
+        print(f"wrote {args.report}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -305,6 +375,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--check-casts", action="store_true", help="report may-fail casts (FJ only)"
     )
     an_p.set_defaults(fn=cmd_analyze)
+
+    batch_p = sub.add_parser(
+        "batch",
+        help="run many (program x preset) analyses through the fixpoint "
+        "cache and a worker pool (the repro.service layer)",
+    )
+    batch_p.add_argument(
+        "programs", nargs="*", default=[], help="source files (language by extension)"
+    )
+    batch_p.add_argument(
+        "--corpus",
+        action="append",
+        default=[],
+        metavar="LANG",
+        help="add every built-in corpus program of a language (cps|lam|fj); "
+        "repeatable",
+    )
+    batch_p.add_argument(
+        "--preset",
+        action="append",
+        default=None,
+        help="preset(s) to run each program under (repeatable; default 1cfa)",
+    )
+    batch_p.add_argument("--lang", choices=("cps", "lam", "fj"))
+    batch_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for cache misses (1 = inline, no pool)",
+    )
+    batch_p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="fixpoint cache directory (created if missing); omit to run uncached",
+    )
+    batch_p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither consult nor fill the cache (even with --cache-dir)",
+    )
+    batch_p.add_argument(
+        "--report", default=None, help="write the machine-readable batch report here"
+    )
+    batch_p.add_argument(
+        "--flows",
+        action="store_true",
+        help="include full flow tables in the report (larger output)",
+    )
+    batch_p.set_defaults(fn=cmd_batch)
     return parser
 
 

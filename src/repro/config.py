@@ -170,6 +170,29 @@ class AnalysisConfig:
             )
         return config
 
+    def cache_key(self) -> str:
+        """A stable, human-readable identity string for content addressing.
+
+        Every semantics-bearing field appears as ``name=value`` in sorted
+        field order; ``label`` is excluded -- it is presentation only, and
+        a preset must share cache entries with the identical hand-built
+        configuration.  The fixpoint cache (:mod:`repro.service.cache`)
+        keys entries by this string joined with the program's structural
+        digest, so the key must change exactly when the fixed point may.
+        """
+        fields = {
+            "language": self.language,
+            "addressing": self.addressing,
+            "k": self.k,
+            "widening": self.widening,
+            "engine": self.engine,
+            "store_impl": self.store_impl,
+            "gc": self.gc,
+            "counting": self.counting,
+            "transition": self.transition,
+        }
+        return "|".join(f"{name}={fields[name]}" for name in sorted(fields))
+
     def describe(self) -> str:
         """A compact one-line rendering (preset listings, labels)."""
         parts = [self.addressing if self.addressing != "kcfa" else f"{self.k}cfa"]

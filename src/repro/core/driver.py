@@ -115,12 +115,21 @@ def prepare_engine_store(
     return store_like
 
 
-def run_engine_analysis(analysis: Any, initial_state: Any, max_steps: int = 1_000_000) -> tuple:
+def run_engine_analysis(
+    analysis: Any,
+    initial_state: Any,
+    max_steps: int = 1_000_000,
+    warm_start: Any = None,
+    capture: Any = None,
+) -> tuple:
     """Run an assembled analysis under its configured engine.
 
     Duck-typed over the three language analysis objects: each carries
     ``engine``, ``collecting``, ``step()`` and a ``last_stats`` dict that
-    is refreshed with the run's evaluation counts.
+    is refreshed with the run's evaluation counts.  ``warm_start`` and
+    ``capture`` pass straight through to
+    :func:`~repro.core.fixpoint.global_store_explore` (incremental
+    re-analysis; see :mod:`repro.service.incremental`).
     """
     analysis.last_stats = {}
     return run_with_engine(
@@ -130,6 +139,8 @@ def run_engine_analysis(analysis: Any, initial_state: Any, max_steps: int = 1_00
         initial_state,
         max_steps=max_steps,
         stats=analysis.last_stats,
+        warm_start=warm_start,
+        capture=capture,
     )
 
 
@@ -140,6 +151,8 @@ def run_with_engine(
     initial_state: Any,
     max_steps: int = 1_000_000,
     stats: dict | None = None,
+    warm_start: Any = None,
+    capture: Any = None,
 ) -> tuple:
     """Compute the store-widened collecting semantics under a named engine.
 
@@ -153,11 +166,20 @@ def run_with_engine(
     All return the fixed point in the shared shape ``(configs, store)``.
     ``stats`` is filled with ``evaluations`` (single-configuration step
     applications, the unit of work all three engines share) plus the
-    worklist engines' retrigger/dependency counters.
+    worklist engines' retrigger/dependency counters.  ``warm_start`` and
+    ``capture`` (worklist engines only -- kleene has no per-configuration
+    evaluations to record or replay) are documented on
+    :func:`~repro.core.fixpoint.global_store_explore`.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; choose one of {ENGINES}")
     if engine == "kleene":
+        if warm_start is not None or capture is not None:
+            raise ValueError(
+                "the kleene engine re-applies the functional to whole-domain "
+                "snapshots; warm starts and evaluation capture need the "
+                "per-configuration worklist engines"
+            )
         evaluations = 0
 
         if isinstance(step, FusedTransition):
@@ -187,6 +209,8 @@ def run_with_engine(
         track_deps=(engine == "depgraph"),
         max_evals=max_steps,
         stats=stats,
+        warm_start=warm_start,
+        capture=capture,
     )
 
 

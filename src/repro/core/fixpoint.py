@@ -103,14 +103,17 @@ saturation set.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Hashable, Iterable
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterable, Mapping
 
 from repro.core.gc import reachable_addresses
 from repro.core.lattice import Lattice
 from repro.core.store import (
     ACounter,
     GCOverlay,
+    MutableStore,
     RecordingStore,
+    StoreSnapshot,
     VersionedCountingStore,
     VersionedStore,
     unwrap_store,
@@ -152,6 +155,90 @@ def check_engine_support(
 
 class FixpointDiverged(Exception):
     """Raised when iteration exceeds the configured step budget."""
+
+
+# ---------------------------------------------------------------------------
+# Warm starts: replayable evaluations and the seed they resume from
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EvalRecord:
+    """One configuration's *last* evaluation, as replayable data.
+
+    ``reads`` and ``writes`` are the address sets of the
+    :class:`~repro.core.store.RecordingStore` bracket and ``successors``
+    the ``(pstate, guts)`` pairs the evaluation stepped to.  At a
+    depgraph fixed point the record is exact with respect to the final
+    store: had any read address grown after the last evaluation, the
+    dependency map would have re-enqueued the configuration, contradicting
+    convergence.  A single evaluation is a pure function of the
+    configuration and the store restricted to its reads, so the record
+    can stand in for re-running the step whenever those cells still hold
+    the recorded values -- the memoization behind ``warm_start=``.
+    ``writes`` keeps the replay honest on the *store* side: the warm
+    engine restricts its final store to addresses some surviving
+    configuration wrote (or the injection seeded), so cells only a
+    no-longer-reachable donor configuration wrote do not leak into the
+    result.
+    """
+
+    reads: frozenset
+    writes: frozenset
+    successors: tuple
+
+
+@dataclass(frozen=True)
+class WarmStart:
+    """A previous fixed point, packaged to seed an incremental re-run.
+
+    ``store`` is the prior global store -- a frozen PMap image or a
+    :class:`~repro.core.store.StoreSnapshot` -- and ``records`` maps each
+    previously-seen configuration to its :class:`EvalRecord`.  The warm
+    engine path seeds its global store from ``store`` and, when it pops a
+    configuration whose record's reads are all still *clean* (no address
+    grew past the seeded value), replays the recorded successors instead
+    of evaluating the step; the recorded writes are already contained in
+    the seeded store, so replay needs no store work at all.  Dirty or
+    unknown configurations are evaluated for real.
+
+    Equality contract (pinned corpus-wide in ``tests/test_service.py``):
+    the warm result is *identical* to a cold run of the same program
+    provided the seeded store lies at or below the cold run's fixed-point
+    store -- true by construction for an unedited program and for edits
+    that extend a program without removing old behavior at shared
+    addresses (e.g. wrapping a new entry around an interned subprogram).
+    An edit that deletes behavior can leave stale cells in the seed; the
+    warm result is then still a sound over-approximation, and callers who
+    need exactness fall back to a cold run
+    (see :mod:`repro.service.incremental`).
+    """
+
+    store: Any
+    records: Mapping
+
+    @property
+    def size(self) -> int:
+        """How many configurations the seed can replay (for stats/reports)."""
+        return len(self.records)
+
+
+@dataclass
+class FixpointCapture:
+    """A sink ``global_store_explore`` fills so a run can seed later ones.
+
+    ``records`` receives every configuration's latest :class:`EvalRecord`
+    (overwritten on re-evaluation, so convergence leaves the exact
+    last-evaluation records a :class:`WarmStart` needs); replayed
+    configurations during a warm run re-deposit their cached record, so a
+    warm run's capture is complete and chains of edits stay warm.
+    """
+
+    records: dict = field(default_factory=dict)
+
+    def warm_start(self, store: Any) -> WarmStart:
+        """Package this capture with a fixed-point ``store`` as a seed."""
+        return WarmStart(store=store, records=dict(self.records))
 
 
 def kleene_iterate(
@@ -308,6 +395,8 @@ def global_store_explore(
     track_deps: bool = True,
     max_evals: int = 1_000_000,
     stats: dict | None = None,
+    warm_start: WarmStart | None = None,
+    capture: FixpointCapture | None = None,
 ) -> tuple:
     """Worklist evaluation of the store-widened domain ``P(configs) x Store``.
 
@@ -356,6 +445,16 @@ def global_store_explore(
     live bindings), and counting stores have their step-written counts
     saturated after convergence (see the module docstring for why that
     reproduces the Kleene counting fixed point exactly).
+
+    ``warm_start`` seeds the run from a previous fixed point (see
+    :class:`WarmStart`: the seeded store is joined in, and configurations
+    whose recorded reads are still clean replay their recorded successors
+    instead of re-stepping).  ``capture``, when supplied, is filled with
+    every configuration's last :class:`EvalRecord` so *this* run can seed
+    later ones.  Both require the dependency-tracked configuration
+    (``track_deps`` + recording store) and neither composes with abstract
+    GC or counting: the GC sweep and the count-saturation pass are
+    side-effects an :class:`EvalRecord` replay would silently skip.
     """
     inner = collecting.inner
     store_like = inner.store_like
@@ -368,6 +467,20 @@ def global_store_explore(
         raise TypeError(
             "dependency tracking needs the collecting domain's store to be a RecordingStore"
         )
+    if warm_start is not None or capture is not None:
+        what = "warm starts" if warm_start is not None else "evaluation capture"
+        if not track_deps or recorder is None:
+            raise TypeError(
+                f"{what} need the dependency-tracked engine: replayed "
+                "configurations are re-triggered through the dependency map "
+                "when a seeded cell later grows"
+            )
+        if gc_on or counting:
+            raise TypeError(
+                f"{what} do not compose with abstract GC or counting: the "
+                "per-evaluation sweep and the count saturation are effects "
+                "an evaluation record cannot replay"
+            )
     if isinstance(base_store, (VersionedStore, VersionedCountingStore)):
         return _versioned_explore(
             collecting,
@@ -378,6 +491,8 @@ def global_store_explore(
             track_deps=track_deps,
             max_evals=max_evals,
             stats=stats,
+            warm_start=warm_start,
+            capture=capture,
         )
     store_lattice = store_like.lattice()
     value_lattice = store_like.value_lattice
@@ -385,17 +500,52 @@ def global_store_explore(
 
     seed_configs, seed_store = collecting.inject(initial_state)
     global_store = seed_store
+    warm_records = None
+    live_writes: set = set()
+    if warm_start is not None:
+        warm_store = warm_start.store
+        if isinstance(warm_store, StoreSnapshot):
+            warm_store = warm_store.data
+        global_store = store_lattice.join(global_store, warm_store)
+        warm_records = warm_start.records
+        live_writes = set(seed_store.keys())
     seen: set = set(seed_configs)
     worklist: deque = deque(seen)
     queued: set = set(seen)
     deps: dict = {}
     written_all: set = set()
+    dirty: set = set()
     evals = 0
     retriggers = 0
+    reused = 0
 
     while worklist:
         config = worklist.popleft()
         queued.discard(config)
+
+        if warm_records is not None:
+            record = warm_records.get(config)
+            if record is not None and dirty.isdisjoint(record.reads):
+                # replay: the record's reads still hold their seeded
+                # values, so the evaluation would reproduce exactly the
+                # recorded successors, and its writes are already part of
+                # the seeded store -- discovery without stepping.  The
+                # reads still enter the dependency map: if a cell grows
+                # later, the replayed configuration is re-enqueued and
+                # (now dirty) evaluated for real.
+                reused += 1
+                live_writes |= record.writes
+                for addr in record.reads:
+                    deps.setdefault(addr, set()).add(config)
+                for pair in record.successors:
+                    if pair not in seen:
+                        seen.add(pair)
+                        queued.add(pair)
+                        worklist.append(pair)
+                if capture is not None:
+                    capture.records[config] = record
+                continue
+
         evals += 1
         if evals > max_evals:
             raise FixpointDiverged(
@@ -415,6 +565,8 @@ def global_store_explore(
                     deps.setdefault(addr, set()).add(config)
             if counting:
                 written_all |= writes
+            if warm_records is not None:
+                live_writes |= writes
         else:
             results = inner.run_config(step, (config, global_store))
 
@@ -426,6 +578,12 @@ def global_store_explore(
                 seen.add(pair)
                 queued.add(pair)
                 worklist.append(pair)
+        if capture is not None:
+            capture.records[config] = EvalRecord(
+                reads=reads,
+                writes=writes,
+                successors=tuple(dict.fromkeys(pair for pair, _ in results)),
+            )
 
         if new_store is global_store:
             continue
@@ -439,6 +597,8 @@ def global_store_explore(
                 new_d = store_like.fetch(new_store, addr)
                 if value_lattice.leq(new_d, old_d):
                     continue
+                if warm_records is not None:
+                    dirty.add(addr)
                 for reader in deps.get(addr, ()):
                     if reader not in queued:
                         queued.add(reader)
@@ -455,12 +615,18 @@ def global_store_explore(
 
     if counting:
         global_store = base_store.saturate(global_store, written_all)
+    if warm_records is not None:
+        # drop seeded cells no surviving configuration wrote: a donor
+        # configuration that is unreachable in this program must not
+        # leak its bindings into the result (cold-equality contract)
+        global_store = global_store.restrict(live_writes.__contains__)
     if stats is not None:
         stats.update(
             evaluations=evals,
             retriggers=retriggers,
             configurations=len(seen),
             tracked_addresses=len(deps),
+            reused=reused,
         )
     return (frozenset(seen), global_store)
 
@@ -501,6 +667,8 @@ def _versioned_explore(
     track_deps: bool,
     max_evals: int,
     stats: dict | None,
+    warm_start: WarmStart | None = None,
+    capture: FixpointCapture | None = None,
 ) -> tuple:
     """The O(delta) hot loop behind :func:`global_store_explore`.
 
@@ -537,18 +705,53 @@ def _versioned_explore(
     use_log = recorder is not None
 
     seed_configs, seed_store = collecting.inject(initial_state)
-    mstore = base_store.thaw(seed_store)
+    warm_records = None
+    if warm_start is not None:
+        # resume the mutable store from the seeded snapshot: restore()
+        # leaves the changelog empty, so changed_since() below reports
+        # exactly the growth past the seed -- which is also the dirty
+        # set that invalidates evaluation records
+        mstore = MutableStore.restore(StoreSnapshot.of_mapping(warm_start.store))
+        for addr in seed_store.keys():
+            base_store.bind(mstore, addr, seed_store.get(addr))
+        warm_records = warm_start.records
+        live_writes: set = set(seed_store.keys())
+    else:
+        mstore = base_store.thaw(seed_store)
+        live_writes = set()
     seen: set = set(seed_configs)
     worklist: deque = deque(seen)
     queued: set = set(seen)
     deps: dict = {}
     written_all: set = set()
+    dirty: set = set(mstore.changed_since(0)) if warm_start is not None else set()
     evals = 0
     retriggers = 0
+    reused = 0
 
     while worklist:
         config = worklist.popleft()
         queued.discard(config)
+
+        if warm_records is not None:
+            record = warm_records.get(config)
+            if record is not None and dirty.isdisjoint(record.reads):
+                # replay (see the persistent path above): clean reads mean
+                # the evaluation would reproduce the recorded successors,
+                # and its writes are already in the seeded store
+                reused += 1
+                live_writes |= record.writes
+                for addr in record.reads:
+                    deps.setdefault(addr, set()).add(config)
+                for pair in record.successors:
+                    if pair not in seen:
+                        seen.add(pair)
+                        queued.add(pair)
+                        worklist.append(pair)
+                if capture is not None:
+                    capture.records[config] = record
+                continue
+
         evals += 1
         if evals > max_evals:
             raise FixpointDiverged(
@@ -579,6 +782,8 @@ def _versioned_explore(
                     deps.setdefault(addr, set()).add(config)
             if counting:
                 written_all |= writes
+            if warm_records is not None:
+                live_writes |= writes
         else:
             pairs = inner.run_config_pairs(step, (config, run_store), instrument=False)
             if gc_on:
@@ -595,10 +800,16 @@ def _versioned_explore(
                 seen.add(pair)
                 queued.add(pair)
                 worklist.append(pair)
+        if capture is not None:
+            capture.records[config] = EvalRecord(
+                reads=reads, writes=writes, successors=tuple(dict.fromkeys(pairs))
+            )
 
         grown = mstore.changed_since(mark)
         if not grown:
             continue
+        if warm_records is not None:
+            dirty.update(grown)
         if track_deps:
             for addr in set(grown):
                 for reader in deps.get(addr, ()):
@@ -615,11 +826,17 @@ def _versioned_explore(
 
     if counting:
         base_store.saturate(mstore, written_all)
+    frozen = base_store.freeze(mstore)
+    if warm_records is not None:
+        # drop seeded cells no surviving configuration wrote (see the
+        # persistent path: the cold-equality contract of warm starts)
+        frozen = frozen.restrict(live_writes.__contains__)
     if stats is not None:
         stats.update(
             evaluations=evals,
             retriggers=retriggers,
             configurations=len(seen),
             tracked_addresses=len(deps),
+            reused=reused,
         )
-    return (frozenset(seen), base_store.freeze(mstore))
+    return (frozenset(seen), frozen)

@@ -57,6 +57,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections import ChainMap
+from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Iterable
 
 from repro.core.lattice import (
@@ -396,8 +397,70 @@ class MutableStore:
         """Addresses whose value set changed after ``mark``, in order."""
         return self.changelog[mark:]
 
+    # -- snapshot / restore (the warm-start boundary) ------------------------
+
+    def snapshot(self) -> "StoreSnapshot":
+        """An immutable image of the store *and* its per-address versions.
+
+        Unlike :meth:`VersionedStore.freeze` (data only), a snapshot keeps
+        the version counters, so two snapshots of the same analysis can be
+        diffed cell-by-cell (``versions`` differ exactly at the addresses
+        whose value sets changed) and a :meth:`restore`\\ d store continues
+        the version sequence instead of restarting it.
+        """
+        return StoreSnapshot(data=pmap(self.data), versions=pmap(self.versions))
+
+    @classmethod
+    def restore(cls, snapshot: "StoreSnapshot") -> "MutableStore":
+        """A live mutable store resumed from a :class:`StoreSnapshot`.
+
+        The changelog starts *empty*: ``changed_since(0)`` on the restored
+        store reports exactly the growth since the snapshot, which is what
+        the warm-start engine path consumes (a plain ``__init__`` or
+        :meth:`VersionedStore.thaw` would prime the changelog with every
+        seeded address, making the whole seed look freshly changed).
+        """
+        dup = cls()
+        dup.data = dict(snapshot.data)
+        dup.versions = dict(snapshot.versions)
+        dup.changelog = []
+        return dup
+
     def __repr__(self) -> str:
         return f"MutableStore({len(self.data)} addrs, {len(self.changelog)} changes)"
+
+
+@dataclass(frozen=True)
+class StoreSnapshot:
+    """An immutable ``(data, versions)`` image of a :class:`MutableStore`.
+
+    Both components are :class:`~repro.util.pcollections.PMap`\\ s, so a
+    snapshot is hashable, comparable and picklable -- the shape the
+    fixpoint cache persists and the warm-start path
+    (:func:`repro.core.fixpoint.global_store_explore` with ``warm_start=``)
+    resumes from via :meth:`MutableStore.restore`.
+    """
+
+    data: Any
+    versions: Any
+
+    @classmethod
+    def of_mapping(cls, store: Any) -> "StoreSnapshot":
+        """Normalize any store image to a snapshot.
+
+        A :class:`StoreSnapshot` passes through (its versions are already
+        meaningful), a live :class:`MutableStore` is snapshotted, and a
+        frozen mapping of unknown history gets version 1 everywhere --
+        the convention ``MutableStore`` itself uses for entries present
+        at construction.
+        """
+        if isinstance(store, StoreSnapshot):
+            return store
+        if isinstance(store, MutableStore):
+            return store.snapshot()
+        return StoreSnapshot(
+            data=pmap(store), versions=pmap({addr: 1 for addr in store.keys()})
+        )
 
 
 class VersionedStore(StoreLike):

@@ -7,4 +7,40 @@
   ``eta``, ``sat``), shared by the CESK machine and -- via the CPS
   transform -- by the CPS analyses;
 * :mod:`repro.corpus.fj_programs`  -- Featherweight Java programs.
+
+:func:`corpus_program` is the language-keyed lookup the service layer's
+batch jobs use to name corpus programs as plain (spawn-safe) strings.
 """
+
+from typing import Any
+
+
+def corpus_programs(language: str) -> dict:
+    """The ``name -> program`` registry of one language's corpus.
+
+    The single home of the language dispatch (the CLI's ``--corpus``
+    sweep and :func:`corpus_program` both route through it).  Imports
+    lazily so ``repro.corpus`` stays cheap to import for callers that
+    only ever touch one language.
+    """
+    if language == "cps":
+        from repro.corpus.cps_programs import PROGRAMS
+    elif language == "lam":
+        from repro.corpus.lam_programs import PROGRAMS
+    elif language == "fj":
+        from repro.corpus.fj_programs import PROGRAMS
+    else:
+        raise ValueError(f"unknown corpus language {language!r}; choose cps, lam or fj")
+    return PROGRAMS
+
+
+def corpus_program(language: str, name: str) -> Any:
+    """Fetch a corpus program by ``(language, name)``."""
+    programs = corpus_programs(language)
+    try:
+        return programs[name]
+    except KeyError:
+        known = ", ".join(sorted(programs))
+        raise ValueError(
+            f"unknown {language} corpus program {name!r}; choose one of: {known}"
+        ) from None

@@ -112,6 +112,24 @@ def id_chain(n: int) -> CExp:
     )
 
 
+def id_chain_edited(n: int) -> CExp:
+    """One incremental edit applied to :func:`id_chain`: append a link at the entry.
+
+    The canonical warm-start workload: a fresh identity application is
+    wrapped *around* the chain, so every sub-term of ``id_chain(n)`` is
+    shared (pointer-identical, thanks to interning) with the unedited
+    program, and after one application step the machine configurations
+    coincide with the original run's -- exactly the shape of a small
+    edit to a large program.  Editing the chain at its inner end would
+    instead rebuild every enclosing term, which is the
+    whole-program-rewrite case warm starts are *not* for (see
+    PERFORMANCE.md, "Caching and warm starts").
+    """
+    base = id_chain(n)
+    extra = intern(Lam(("w0", "jw0"), Call(Ref("jw0"), (Ref("w0"),))))
+    return intern(Call(intern(Lam(("pre",), base)), (extra,)))
+
+
 def heap_clone(n: int) -> CExp:
     """A per-state-store (heap-cloning) blowup family (experiment E4).
 

@@ -142,10 +142,21 @@ class CPSAnalysis:
             return build_cps_fused(self.interface)
         return lambda pstate: mnext(self.interface, pstate)
 
-    def run(self, program: CExp, worklist: bool = False, max_steps: int = 1_000_000):
+    def run(
+        self,
+        program: CExp,
+        worklist: bool = False,
+        max_steps: int = 1_000_000,
+        warm_start: Any = None,
+        capture: Any = None,
+    ):
         initial = inject(program)
         if self.engine is not None:
-            fp = run_engine_analysis(self, initial, max_steps=max_steps)
+            fp = run_engine_analysis(
+                self, initial, max_steps=max_steps, warm_start=warm_start, capture=capture
+            )
+        elif warm_start is not None or capture is not None:
+            raise ValueError("warm starts / capture need an engine-backed analysis")
         elif worklist:
             if self.shared:
                 raise ValueError("worklist evaluation applies to per-state-store domains")
@@ -154,6 +165,15 @@ class CPSAnalysis:
             )
         else:
             fp = run_analysis(self.collecting, self.step(), initial, max_steps=max_steps)
+        return self.wrap_result(fp)
+
+    def wrap_result(self, fp: Any) -> "CPSAnalysisResult":
+        """View a fixed point (freshly computed or cache-loaded) uniformly.
+
+        The fixpoint cache (:mod:`repro.service.cache`) stores bare fixed
+        points; rehydrated loads are wrapped back through here so callers
+        see the exact object :meth:`run` would have returned.
+        """
         return CPSAnalysisResult(
             fp=fp,
             shared=self.shared,

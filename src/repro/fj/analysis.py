@@ -175,16 +175,31 @@ class FJAnalysis:
             return build_fj_fused(self.interface)
         return lambda pstate: mnext_fj(self.interface, pstate)
 
-    def run(self, program: Program, worklist: bool = True, max_steps: int = 1_000_000):
+    def run(
+        self,
+        program: Program,
+        worklist: bool = True,
+        max_steps: int = 1_000_000,
+        warm_start: Any = None,
+        capture: Any = None,
+    ):
         initial = inject_fj(program.main)
         if self.engine is not None:
-            fp = run_engine_analysis(self, initial, max_steps=max_steps)
+            fp = run_engine_analysis(
+                self, initial, max_steps=max_steps, warm_start=warm_start, capture=capture
+            )
+        elif warm_start is not None or capture is not None:
+            raise ValueError("warm starts / capture need an engine-backed analysis")
         elif worklist and not self.shared:
             fp = run_analysis_worklist(
                 self.collecting, self.step(), initial, max_states=max_steps
             )
         else:
             fp = run_analysis(self.collecting, self.step(), initial, max_steps=max_steps)
+        return self.wrap_result(fp, program)
+
+    def wrap_result(self, fp: Any, program: Program) -> "FJAnalysisResult":
+        """View a fixed point (freshly computed or cache-loaded) uniformly."""
         return FJAnalysisResult(
             fp=fp,
             shared=self.shared,

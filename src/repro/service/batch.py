@@ -1,0 +1,321 @@
+"""``run_batch``: shard a grid of analyses across processes, behind the cache.
+
+The batch runner is deliberately dumb about analysis internals -- a job
+is ``(program, AnalysisConfig)`` plus a label -- and deliberately careful
+about process boundaries:
+
+* **Spawn-safe by construction.**  Jobs travel to workers as *source
+  text* (or a corpus program name) plus a config of plain scalars, never
+  as live term graphs; each worker parses in its own process, which
+  rebuilds its intern pool exactly the way a fresh CLI invocation would.
+  The default start method is ``spawn`` -- the strictest one (nothing
+  inherited), and the only one available everywhere -- so anything that
+  works here works under ``fork`` too.
+* **Rehydrated on receipt.**  Workers return frozen fixed points
+  (``frozenset``\\ s and PMaps) through pickle; the parent canonicalizes
+  them with :func:`repro.util.intern.rehydrate` before they meet any
+  locally parsed term (the fork/pickle hazard documented in
+  :mod:`repro.util.intern`).
+* **Cache first.**  With a :class:`~repro.service.cache.FixpointCache`
+  attached, every job's content address is consulted before dispatch;
+  only misses reach the pool, and their results (with warm-start
+  evaluation records, where the configuration supports them) are written
+  back by the parent -- workers never touch the cache directory, so no
+  cross-process index locking exists to get wrong.
+
+The result is a :class:`BatchReport` whose :meth:`BatchReport.render`
+is deterministic JSON (:func:`repro.analysis.report.render_json`):
+the machine-readable artifact the CLI's ``repro batch`` writes and the
+CI cache-smoke job asserts over.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.analysis.report import render_json, result_summary
+from repro.config import AnalysisConfig, assemble
+from repro.core.fixpoint import FixpointCapture
+from repro.service.cache import FixpointCache, cache_key, ensure_deep_pickle
+from repro.service.incremental import warmable, wrap_fixpoint
+from repro.util.intern import rehydrate
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """One cell of a batch: a program (by source or corpus name) x a config.
+
+    Everything in here is plain, picklable scalar data -- the property
+    that makes the job spawn-safe.  ``config`` must carry its language;
+    use :func:`jobs_for` to build grids from preset names.
+    """
+
+    config: AnalysisConfig
+    source: str | None = None
+    corpus: str | None = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if (self.source is None) == (self.corpus is None):
+            raise ValueError("a BatchJob names exactly one of source= or corpus=")
+        if self.config.language is None:
+            raise ValueError("a BatchJob's config must carry its language")
+
+    def describe(self) -> str:
+        """A short human-readable cell name for tables and reports."""
+        program = self.corpus if self.corpus else "<source>"
+        return self.label or f"{self.config.language}/{program}/{self.config.describe()}"
+
+
+def resolve_program(job: BatchJob) -> Any:
+    """Parse (or look up) the job's program in *this* process.
+
+    Parsing interns every node, so resolving the same job in parent and
+    worker yields structurally identical, locally-canonical terms --
+    the content address is therefore process-independent.
+    """
+    language = job.config.language
+    if job.corpus is not None:
+        from repro.corpus import corpus_program
+
+        return corpus_program(language, job.corpus)
+    if language == "cps":
+        from repro.cps.parser import parse_program
+
+        return parse_program(job.source)
+    if language == "lam":
+        from repro.lam.parser import parse_expr
+
+        return parse_expr(job.source)
+    from repro.fj.parser import parse_program as parse_fj
+
+    return parse_fj(job.source)
+
+
+def _run_job(job: BatchJob) -> dict:
+    """Execute one job cold (worker side; also the inline path).
+
+    Returns only picklable data: the fixed point, optional warm-start
+    records, timing and engine stats.
+    """
+    # the pool serializes this function's return value outside anything
+    # we can wrap, so give the *worker process* its pickle headroom here
+    ensure_deep_pickle()
+    program = resolve_program(job)
+    config = job.config
+    analysis = assemble(config, program=program)
+    capture = FixpointCapture() if warmable(config) else None
+    start = time.perf_counter()
+    result = analysis.run(program, worklist=not config.shared, capture=capture)
+    seconds = time.perf_counter() - start
+    return {
+        "fp": result.fp,
+        "records": dict(capture.records) if capture is not None else None,
+        "seconds": seconds,
+        "stats": dict(analysis.last_stats),
+        "pid": os.getpid(),
+    }
+
+
+@dataclass
+class JobOutcome:
+    """One job's result: where it came from and what it cost."""
+
+    job: BatchJob
+    result: Any
+    key: str
+    cached: bool
+    seconds: float
+    stats: dict = field(default_factory=dict)
+    worker_pid: int | None = None
+
+    @property
+    def fp(self) -> Any:
+        """The fixed point itself (shared by every acceptance check)."""
+        return self.result.fp
+
+
+@dataclass
+class BatchReport:
+    """The machine-readable outcome of one :func:`run_batch` call."""
+
+    outcomes: list[JobOutcome]
+    workers: int
+    total_seconds: float
+    cache_stats: dict | None = None
+
+    def to_document(self, include_flows: bool = False) -> dict:
+        """The report as deterministic-JSON-ready data."""
+        rows = []
+        for outcome in self.outcomes:
+            summary = result_summary(
+                outcome.result, label=outcome.job.describe(), seconds=outcome.seconds
+            )
+            if not include_flows:
+                summary.pop("flows")
+            summary.update(
+                key=outcome.key,
+                language=outcome.job.config.language,
+                config=outcome.job.config.cache_key(),
+                cache="hit" if outcome.cached else "miss",
+                evaluations=outcome.stats.get("evaluations"),
+                reused=outcome.stats.get("reused"),
+            )
+            rows.append(summary)
+        return {
+            "schema": "batch-report/1",
+            "jobs": rows,
+            "workers": self.workers,
+            "total_seconds": round(self.total_seconds, 6),
+            "cache": self.cache_stats,
+        }
+
+    def render(self, include_flows: bool = False) -> str:
+        """Deterministic JSON (sorted keys, stable addresses, trailing \\n)."""
+        return render_json(self.to_document(include_flows=include_flows))
+
+    @property
+    def hit_count(self) -> int:
+        """How many jobs were answered from the cache."""
+        return sum(1 for outcome in self.outcomes if outcome.cached)
+
+
+def jobs_for(
+    programs: Iterable[tuple[str, str, str]], presets: Iterable[str]
+) -> list[BatchJob]:
+    """Build a job grid: ``(language, name, source)`` x preset names."""
+    from repro.config import preset_config
+
+    grid = []
+    for language, name, source in programs:
+        for preset in presets:
+            grid.append(
+                BatchJob(
+                    config=preset_config(preset, language),
+                    source=source,
+                    label=f"{language}/{name}/{preset}",
+                )
+            )
+    return grid
+
+
+def run_batch(
+    jobs: Sequence[BatchJob],
+    workers: int = 1,
+    cache: FixpointCache | None = None,
+    cache_dir: str | None = None,
+    use_cache: bool = True,
+    start_method: str = "spawn",
+) -> BatchReport:
+    """Run a batch of analysis jobs, cache-first, pool-sharded.
+
+    ``workers > 1`` fans cache misses across a ``multiprocessing`` pool
+    (``start_method`` defaults to the spawn-safe strictest choice);
+    ``workers <= 1`` runs misses inline, which skips pickling entirely
+    (one process, one intern pool -- nothing to rehydrate).  ``cache``
+    or ``cache_dir`` attaches a fixpoint cache; ``use_cache=False``
+    keeps a configured cache cold (the CLI's ``--no-cache``).
+
+    Every job's fixed point -- cache hit, pooled, or inline -- is
+    bit-identical to a cold single-process run of the same cell, which
+    ``tests/test_service.py`` pins across the whole preset matrix.
+    """
+    if cache is None and cache_dir is not None and use_cache:
+        # --no-cache must neither create nor read the directory
+        cache = FixpointCache(root=cache_dir)
+    ensure_deep_pickle()  # pool results unpickle on a parent-side thread
+    started = time.perf_counter()
+
+    # normalize every config up front: content addresses must be computed
+    # on the *validated* config (validation e.g. implies the store
+    # widening for engine configs), or batch-written entries would never
+    # match the keys reanalyse/latest_for derive
+    jobs = [
+        job
+        if (validated := job.config.validated()) == job.config
+        else dataclasses.replace(job, config=validated)
+        for job in jobs
+    ]
+
+    prepared = []  # (job, program, analysis, key), aligned with jobs
+    outcomes: list[JobOutcome | None] = [None] * len(jobs)
+    misses: list[int] = []
+    for index, job in enumerate(jobs):
+        program = resolve_program(job)
+        key = cache_key(program, job.config)
+        analysis = assemble(job.config, program=program)
+        prepared.append((job, program, analysis, key))
+        if cache is not None and use_cache:
+            load_start = time.perf_counter()
+            # the report only needs the fixed point; leave the (larger)
+            # warm-start records sidecar on disk
+            entry = cache.get_key(key, with_records=False)
+            if entry is not None:
+                outcomes[index] = JobOutcome(
+                    job=job,
+                    result=wrap_fixpoint(analysis, entry.fp, program, job.config.language),
+                    key=key,
+                    cached=True,
+                    seconds=time.perf_counter() - load_start,
+                )
+                continue
+        misses.append(index)
+
+    if misses:
+        # dedupe within the batch: two cells with one content address are
+        # one computation (the duplicates share the payload below)
+        leaders: dict[str, int] = {}
+        for index in misses:
+            leaders.setdefault(prepared[index][3], index)
+        unique = sorted(leaders.values())
+        if workers > 1 and len(unique) > 1:
+            pool_size = min(workers, len(unique))
+            context = multiprocessing.get_context(start_method)
+            with context.Pool(pool_size) as pool:
+                computed = pool.map(
+                    _run_job, [jobs[index] for index in unique], chunksize=1
+                )
+            # canonicalize everything the pool sent back in one pass, so
+            # fixed points and records share representatives
+            computed = [
+                {**payload, **dict(zip(("fp", "records"), rehydrate((payload["fp"], payload["records"]))))}
+                for payload in computed
+            ]
+        else:
+            computed = [_run_job(jobs[index]) for index in unique]
+        by_key = {prepared[index][3]: payload for index, payload in zip(unique, computed)}
+
+        stored: set[str] = set()
+        for index in misses:
+            job, program, analysis, key = prepared[index]
+            payload = by_key[key]
+            outcomes[index] = JobOutcome(
+                job=job,
+                result=wrap_fixpoint(analysis, payload["fp"], program, job.config.language),
+                key=key,
+                cached=False,
+                seconds=payload["seconds"],
+                stats=payload["stats"],
+                worker_pid=payload["pid"],
+            )
+            if cache is not None and use_cache and key not in stored:
+                stored.add(key)
+                cache.put(
+                    program,
+                    job.config,
+                    payload["fp"],
+                    records=payload["records"],
+                    seconds=payload["seconds"],
+                )
+
+    return BatchReport(
+        outcomes=[outcome for outcome in outcomes if outcome is not None],
+        workers=workers,
+        total_seconds=time.perf_counter() - started,
+        cache_stats=cache.stats() if cache is not None else None,
+    )

@@ -1,0 +1,240 @@
+"""Warm-start incremental re-analysis: pay for the edit, not the program.
+
+A cold analysis of an edited program repeats almost all of its
+predecessor's work: the edit is a handful of sub-terms, interning makes
+the unchanged rest *pointer-identical*, and the depgraph engine already
+knows -- per configuration -- which store cells each evaluation read and
+which successors it produced.  :func:`reanalyse` turns that into an
+incremental pipeline over the fixpoint cache:
+
+1. **Digest hit** -- the edited source parses to a term whose structural
+   digest is already cached (an identity edit, a revert, a duplicate
+   submission): the fixed point is loaded and rehydrated, zero
+   evaluations.
+2. **Warm start** -- the digest is new but the cache holds a
+   records-bearing entry for the same configuration (the predecessor's
+   run): the engine is seeded with that entry's store and
+   :class:`~repro.core.fixpoint.EvalRecord` map.  Re-discovered
+   configurations whose recorded reads are still clean *replay* their
+   recorded successors instead of stepping; only configurations touched
+   by the edit -- new ones, and ones whose cells grew -- are evaluated.
+   Cost: O(reachable configurations) dictionary walks plus O(edit)
+   evaluations, instead of O(program) evaluations with retriggers.
+3. **Cold** -- no donor (or a non-warmable configuration): run normally.
+   Either way the result (with fresh records, where supported) is
+   written back, so the *next* edit warm-starts from this one: a chain
+   of edits stays warm end to end.
+
+Soundness and exactness contract (also on
+:class:`~repro.core.fixpoint.WarmStart`): the warm result equals the
+cold fixed point whenever the donor's store lies at or below the edited
+program's fixed-point store -- true for identity edits and for edits
+that extend a program around its interned sub-terms (the ``id_chain``
+append workload pinned in ``tests/test_service.py``).  An edit that
+*removes* behavior can leave the donor's stale cells in the seed; the
+result is then a sound over-approximation of the cold analysis, and a
+caller that needs exactness re-runs cold (``donor=None``).  Use
+:func:`edit_distance` to gate: when the edit replaces most of the
+program, warm starting also stops being *profitable* (PERFORMANCE.md,
+"Caching and warm starts").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.config import AnalysisConfig, assemble
+from repro.core.fixpoint import FixpointCapture
+from repro.service.cache import CachedFixpoint, FixpointCache, cache_key
+from repro.util.intern import decompose
+
+
+def warmable(config: AnalysisConfig) -> bool:
+    """Whether a configuration's runs can capture and replay evaluations.
+
+    Warm starts live on the dependency-tracked engine (replayed
+    configurations are re-triggered through the dependency map) and do
+    not compose with abstract GC or counting, whose per-evaluation sweep
+    and post-convergence saturation an evaluation record cannot replay
+    (see :func:`repro.core.fixpoint.global_store_explore`).  Every other
+    preset still gets path 1 (digest hits) of :func:`reanalyse`.
+    """
+    return config.engine == "depgraph" and not config.gc and not config.counting
+
+
+def iter_subvalues(value: Any):
+    """Every structural sub-value of a term, itself included (iterative).
+
+    Language-agnostic: walks whatever the shared
+    :func:`repro.util.intern.decompose` recognizes (dataclass fields,
+    tuples, sets, mappings), so subterm checks can never diverge from
+    content digesting or rehydration.  Shared (interned) sub-terms are
+    visited once.
+    """
+    seen: set[int] = set()
+    stack = [value]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        yield node
+        _kind, children = decompose(node)
+        stack.extend(children)
+
+
+def contains_subterm(program: Any, candidate: Any) -> bool:
+    """Whether ``candidate`` occurs verbatim (pointer-equal) inside ``program``.
+
+    The donor-eligibility test behind automatic warm starts: when the
+    old program is an *exact interned subterm* of the new one, the edit
+    is an extension -- the old program is closed, so nothing the new
+    wrapper binds can flow into its cells, its internal contexts (hence
+    addresses and values) re-arise unchanged after at most ``k`` steps,
+    and the seeded store therefore lies below the new fixed point: the
+    warm result is exactly the cold one.  A sibling edit (shared pieces,
+    different surroundings) offers no such guarantee -- shared addresses
+    can carry donor-only values -- so it must re-run cold.
+    """
+    return any(node is candidate for node in iter_subvalues(program))
+
+
+def edit_distance(old_program: Any, new_program: Any) -> dict:
+    """How big an edit is, structurally: the changed-sub-term counts.
+
+    Interning makes this cheap and exact: a sub-term survives the edit
+    iff the same canonical object occurs in both programs, so the delta
+    is a set difference over object identities.  Returns ``new_terms``
+    (sub-terms of the edited program absent from the old one -- the work
+    a warm start must actually evaluate scales with these), ``shared``
+    and ``total``; ``ratio`` is ``new_terms / total``.
+    """
+    old_ids = {id(node) for node in iter_subvalues(old_program)}
+    new_terms = 0
+    total = 0
+    for node in iter_subvalues(new_program):
+        total += 1
+        if id(node) not in old_ids:
+            new_terms += 1
+    return {
+        "new_terms": new_terms,
+        "shared": total - new_terms,
+        "total": total,
+        "ratio": round(new_terms / total, 4) if total else 0.0,
+    }
+
+
+@dataclass
+class Reanalysis:
+    """The outcome of one :func:`reanalyse` call, with provenance."""
+
+    result: Any
+    mode: str  # "cache-hit" | "warm" | "cold"
+    seconds: float
+    key: str
+    stats: dict
+
+    @property
+    def fp(self) -> Any:
+        """The fixed point (what the equivalence tests compare)."""
+        return self.result.fp
+
+
+def wrap_fixpoint(analysis: Any, fp: Any, program: Any, language: str) -> Any:
+    """Wrap a bare fixed point in the language's result type.
+
+    The one home of the FJ-vs-others ``wrap_result`` signature split
+    (FJ results carry the program for its class table); the batch runner
+    routes through here too.
+    """
+    if language == "fj":
+        return analysis.wrap_result(fp, program)
+    return analysis.wrap_result(fp)
+
+
+def reanalyse(
+    config: AnalysisConfig,
+    program: Any,
+    cache: FixpointCache,
+    donor: CachedFixpoint | None = None,
+    allow_warm: bool = True,
+) -> Reanalysis:
+    """Analyse ``program`` under ``config``, as incrementally as the cache allows.
+
+    The three-path pipeline from the module docstring: digest hit, warm
+    start, cold run.  Whatever path runs, the fixed point (plus fresh
+    evaluation records for warmable configurations) is stored back under
+    the program's digest.
+
+    Donor selection is exactness-gated: an auto-selected donor (the
+    cache's most recent records-bearing entry for this configuration) is
+    used only when its program is an exact interned subterm of
+    ``program`` (:func:`contains_subterm`) -- the extension-edit shape
+    for which the warm result provably equals the cold one.  Sibling
+    edits and unrelated programs run cold rather than risk a silently
+    over-approximate result.  Passing ``donor=`` explicitly *bypasses*
+    the gate: the result is then sound but possibly over-approximate for
+    behavior-removing edits (module docstring contract) -- the caller
+    takes responsibility, and the result is **not** written back to the
+    cache (a later gate-respecting query must not receive a possibly
+    inexact fixed point as a digest hit).  ``allow_warm=False`` forces
+    path 1-or-3.
+    """
+    config = config.validated()
+    started = time.perf_counter()
+    cached = cache.get(program, config, with_records=False)
+    if cached is not None:
+        analysis = assemble(config, program=program)
+        return Reanalysis(
+            result=wrap_fixpoint(analysis, cached.fp, program, config.language),
+            mode="cache-hit",
+            seconds=time.perf_counter() - started,
+            key=cached.key,
+            stats={"evaluations": 0},
+        )
+
+    analysis = assemble(config, program=program)
+    capture = FixpointCapture() if warmable(config) else None
+    warm_start = None
+    gate_bypassed = donor is not None
+    if allow_warm and warmable(config):
+        if donor is None:
+            candidate = cache.latest_for(config)
+            if (
+                candidate is not None
+                and candidate.warmable
+                and candidate.program is not None
+                and contains_subterm(program, candidate.program)
+            ):
+                donor = candidate
+        if donor is not None and donor.warmable:
+            warm_start = donor.warm_start()
+
+    result = analysis.run(
+        program,
+        worklist=not config.shared,
+        warm_start=warm_start,
+        capture=capture,
+    )
+    if warm_start is not None and gate_bypassed:
+        # a gate-bypassing donor may have produced a (sound) over-
+        # approximation; caching it under the program's digest would let
+        # later gate-respecting callers receive it as an exact cache hit
+        key = cache_key(program, config)
+    else:
+        key = cache.put(
+            program,
+            config,
+            result.fp,
+            records=dict(capture.records) if capture is not None else None,
+            seconds=time.perf_counter() - started,
+        )
+    return Reanalysis(
+        result=result,
+        mode="warm" if warm_start is not None else "cold",
+        seconds=time.perf_counter() - started,
+        key=key,
+        stats=dict(analysis.last_stats),
+    )

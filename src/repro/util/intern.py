@@ -24,10 +24,31 @@ change.  Two complementary remedies live here:
 Both are semantics-free: hashing and equality remain structural, only
 their cost changes, which the interned-vs-plain equivalence tests pin
 down across all three languages.
+
+## The fork/pickle hazard (and :func:`rehydrate`)
+
+The pool is per-process state.  A term pickled in one process and
+unpickled in another (a ``multiprocessing`` worker handing back an
+analysis result, a fixpoint cache loading yesterday's run) arrives as a
+*fresh object graph*: structurally equal to the locally parsed term --
+``__getstate__`` drops the memoized hash, so hashing and ``==`` stay
+correct under per-process hash randomization -- but **not pointer-equal
+to the pool's canonical representative**.  Nothing breaks loudly.  What
+breaks silently is the identity fast path: every ``__eq__`` between the
+unpickled term and a locally interned one falls back to a full
+structural descent, which on chain-shaped terms is the exact O(term)
+(and deep-recursion) cost this module exists to avoid, paid once per
+set/dict probe.  :func:`rehydrate` repairs this: it canonicalizes an
+unpickled value graph bottom-up through :func:`intern`, so every
+hash-consed node in it *is* the pool representative again.  The
+regression tests (``tests/test_intern.py``, spawn-based cross-process
+tests in ``tests/test_service_spawn.py``) pin both the hazard and the
+repair.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Any, TypeVar
 
 T = TypeVar("T")
@@ -92,6 +113,7 @@ def hash_consed(cls: type) -> type:
     cls.__hash__ = __hash__
     cls.__eq__ = __eq__
     cls.__getstate__ = __getstate__
+    cls.__hash_consed__ = True
     return cls
 
 
@@ -167,3 +189,109 @@ def clear_intern_pool() -> None:
     interned before the clear and one interned after) is lost.
     """
     _POOL.clear()
+
+
+# ---------------------------------------------------------------------------
+# Rehydration: canonicalizing unpickled value graphs
+# ---------------------------------------------------------------------------
+
+def decompose(value: Any) -> tuple[str | None, list]:
+    """Split a value into a structural kind tag and its children.
+
+    Returns ``(None, [])`` for atoms (strings, numbers, enums, anything a
+    structural walk should pass through untouched); otherwise one of
+    ``"dataclass"`` (children = field values, in field order),
+    ``"tuple"``, ``"frozenset"``, ``"list"``, ``"dict"`` / ``"pmap"``
+    (children = flattened key/value pairs).  ``PMap`` is recognized by
+    duck type (``items_sorted``/``to_dict``) to avoid an import cycle
+    with :mod:`repro.util.pcollections`.
+
+    This is the **one** decomposition every structural walk in the code
+    base shares -- :func:`rehydrate` here, the cache's
+    ``program_digest``, and the warm-start layer's subterm/edit-distance
+    checks -- so a new container shape in a syntax node cannot silently
+    desynchronize content addressing, rehydration, and donor gating.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return "dataclass", [
+            getattr(value, f.name) for f in dataclasses.fields(value)
+        ]
+    kind = type(value)
+    if kind is tuple:
+        return "tuple", list(value)
+    if kind is frozenset or isinstance(value, frozenset):
+        return "frozenset", list(value)
+    if kind is list:
+        return "list", list(value)
+    if kind is dict:
+        return "dict", [x for kv in value.items() for x in kv]
+    if hasattr(value, "items_sorted") and hasattr(value, "to_dict"):  # PMap
+        return "pmap", [x for kv in value.to_dict().items() for x in kv]
+    return None, []
+
+
+def _rebuild(value: Any, kind: str, children: list, originals: list) -> Any:
+    """Reassemble ``value`` from canonicalized ``children``.
+
+    When no child changed, the original object is kept (no copy); either
+    way a hash-consed dataclass is passed through :func:`intern` so the
+    result is the pool's canonical representative.
+    """
+    unchanged = all(a is b for a, b in zip(children, originals))
+    if kind == "dataclass":
+        built = value if unchanged else type(value)(*children)
+        if getattr(type(value), "__hash_consed__", False):
+            return intern(built)
+        return built
+    if unchanged:
+        return value
+    if kind == "tuple":
+        return tuple(children)
+    if kind == "frozenset":
+        return frozenset(children)
+    if kind == "list":
+        return children
+    if kind == "dict":
+        return dict(zip(children[0::2], children[1::2]))
+    # pmap: rebuild through the class of the original, keeping PMap out
+    # of this module's imports
+    return type(value)(dict(zip(children[0::2], children[1::2])))
+
+
+def rehydrate(value: T) -> T:
+    """Canonicalize an unpickled value graph through the intern pool.
+
+    Rebuilds ``value`` bottom-up -- tuples, frozensets, lists, dicts,
+    ``PMap``\\ s and (frozen) dataclasses -- interning every
+    :func:`hash_consed` node, so the result's terms are pointer-equal to
+    the pool's representatives and the ``__eq__`` identity fast path
+    fires against locally parsed programs again (see the module
+    docstring's fork/pickle hazard).  Structure the walk does not
+    recognize (plain objects, enums, atoms) passes through untouched.
+
+    The traversal is iterative with an explicit stack: unpickled fixed
+    points contain chain-shaped terms whose depth would otherwise race
+    the interpreter's recursion limit.  Shared sub-graphs are memoized by
+    object identity, so rehydrating a fixed point is O(distinct nodes).
+    """
+    memo: dict[int, Any] = {}
+    stack: list[tuple[Any, bool]] = [(value, False)]
+    while stack:
+        node, expanded = stack.pop()
+        key = id(node)
+        if key in memo:
+            continue
+        kind, children = decompose(node)
+        if kind is None:
+            memo[key] = node
+            continue
+        if expanded:
+            memo[key] = _rebuild(
+                node, kind, [memo[id(child)] for child in children], children
+            )
+        else:
+            stack.append((node, True))
+            for child in children:
+                if id(child) not in memo:
+                    stack.append((child, False))
+    return memo[id(value)]

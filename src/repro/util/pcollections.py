@@ -88,6 +88,23 @@ class PMap(Mapping[K, V]):
         items = ", ".join(f"{k!r}: {v!r}" for k, v in sorted_items(self._d))
         return "pmap({" + items + "})"
 
+    # -- pickling ----------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Pickle the entries only, never the cached hash.
+
+        Python randomizes string hashes per process, so a memoized hash
+        travelling inside a pickle would be silently stale in the
+        unpickling process -- equal maps would land in different dict
+        buckets.  Dropping it here makes ``__hash__`` recompute on first
+        use, which the cross-process round-trip tests pin down.
+        """
+        return self._d
+
+    def __setstate__(self, state: dict) -> None:
+        self._d = state
+        self._hash = None
+
     # -- persistent updates -------------------------------------------------
 
     def set(self, key: K, value: V) -> "PMap[K, V]":

@@ -262,3 +262,48 @@ class TestTransitionFlag:
     def test_transition_default_is_not_passed(self):
         args = build_parser().parse_args(["analyze", "x.cps"])
         assert args.transition is None
+
+
+class TestBatchCommand:
+    def test_batch_cold_then_cached(self, cps_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "fixcache")
+        report_path = tmp_path / "report.json"
+        argv = [
+            "batch", cps_file,
+            "--preset", "1cfa", "--preset", "0cfa",
+            "--cache-dir", cache_dir,
+            "--report", str(report_path),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "miss" in cold and "hit" not in cold.replace("hits", "")
+        assert report_path.exists()
+
+        assert main(argv) == 0
+        cached = capsys.readouterr().out
+        assert "hit" in cached
+
+        import json
+
+        document = json.loads(report_path.read_text())
+        assert document["schema"] == "batch-report/1"
+        assert len(document["jobs"]) == 2
+        assert all(row["cache"] == "hit" for row in document["jobs"])
+        assert document["cache"]["hits"] == 2
+
+    def test_batch_corpus_sweep(self, tmp_path, capsys):
+        assert main(["batch", "--corpus", "cps", "--preset", "0cfa"]) == 0
+        out = capsys.readouterr().out
+        assert "cps:mj09/0cfa" in out
+
+    def test_batch_no_cache(self, cps_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "fixcache")
+        argv = ["batch", cps_file, "--cache-dir", cache_dir, "--no-cache"]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "hit" not in out.replace("hits", "")
+
+    def test_batch_requires_programs(self):
+        with pytest.raises(SystemExit, match="batch needs"):
+            main(["batch"])

@@ -197,3 +197,62 @@ class TestPoolLifecycle:
         assert term == parse_cexp(
             "((lambda (x k) (k x)) (lambda (y j) (j y)) (lambda (r) (exit)))"
         )
+
+
+class TestRehydrate:
+    """``rehydrate``: unpickled graphs become pool-canonical again."""
+
+    def test_unpickled_term_is_equal_but_not_canonical(self):
+        """The documented hazard, in-process: a pickle round trip yields a
+        distinct object whose every comparison is a full structural walk."""
+        from repro.util.intern import rehydrate
+
+        term = intern(parse_cexp("((lambda (x k) (k x)) (lambda (z j) (j z)) (lambda (r) (exit)))"))
+        copy = pickle.loads(pickle.dumps(term))
+        assert copy == term and hash(copy) == hash(term)
+        assert copy is not term
+        assert rehydrate(copy) is term
+
+    def test_rehydrate_recurses_through_containers(self):
+        from repro.util.intern import rehydrate
+
+        lam = intern(parse_cexp("((lambda (x k) (exit)) (lambda (z j) (exit)) (lambda (r) (exit)))"))
+        nest = pickle.loads(
+            pickle.dumps((frozenset([lam]), pmap({"k": (lam, [lam])}), {"d": lam}))
+        )
+        fs, pm, d = rehydrate(nest)
+        assert next(iter(fs)) is lam
+        assert pm["k"][0] is lam and pm["k"][1][0] is lam
+        assert d["d"] is lam
+
+    def test_rehydrate_is_deep_safe(self):
+        """Chain-shaped terms far past the *default* recursion limit
+        rehydrate fine: the walk is iterative.  (The pickle round trip
+        itself recurses, which is why every service-layer pickle boundary
+        calls ``ensure_deep_pickle`` first -- as here.)"""
+        from repro.corpus.cps_programs import id_chain
+        from repro.service.cache import ensure_deep_pickle
+        from repro.util.intern import rehydrate
+
+        ensure_deep_pickle()
+        deep = id_chain(600)
+        assert rehydrate(pickle.loads(pickle.dumps(deep))) is deep
+
+    def test_rehydrate_preserves_atoms_and_unknown_objects(self):
+        from repro.util.intern import rehydrate
+
+        opaque = object()
+        assert rehydrate(42) == 42
+        assert rehydrate("x") == "x"
+        assert rehydrate(opaque) is opaque
+
+    def test_rehydrate_shares_across_duplicates(self):
+        """Two structurally equal unpickled copies map to one canonical
+        object."""
+        from repro.util.intern import rehydrate
+
+        term = intern(parse_cexp("((lambda (x k) (exit)) (lambda (z j) (exit)) (lambda (r) (exit)))"))
+        one = pickle.loads(pickle.dumps(term))
+        two = pickle.loads(pickle.dumps(term))
+        a, b = rehydrate((one, two))
+        assert a is b is term

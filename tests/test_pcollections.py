@@ -195,3 +195,33 @@ class TestPMapNoOpFastPaths:
         h = hash(m)
         assert hash(m.update({"a": 1})) == h
         assert m.update({"a": 1})._hash is not None
+
+
+class TestPicklingDropsTheHashMemo:
+    """A pickled PMap must never carry its cached hash across processes.
+
+    Python randomizes string hashes per process, so a memoized hash
+    travelling inside a pickle would silently put equal maps in different
+    dict buckets in the unpickling process.  ``__getstate__`` pickles the
+    entries only; the cross-process half of this contract runs under
+    spawn in ``tests/test_service_spawn.py``.
+    """
+
+    def test_state_excludes_the_memo(self):
+        import pickle
+
+        original = pmap({"x": 1, "y": 2})
+        hash(original)  # memoize
+        assert original.__getstate__() == {"x": 1, "y": 2}
+        loaded = pickle.loads(pickle.dumps(original))
+        assert loaded._hash is None
+
+    def test_round_trip_preserves_value_semantics(self):
+        import pickle
+
+        original = pmap({"x": 1, ("nested", 2): pmap({"inner": 3})})
+        hash(original)
+        loaded = pickle.loads(pickle.dumps(original))
+        assert loaded == original
+        assert hash(loaded) == hash(original)
+        assert {loaded: "hit"}[original] == "hit"

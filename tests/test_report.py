@@ -76,3 +76,95 @@ class TestFmtTable:
     def test_non_string_cells(self):
         out = fmt_table(["n"], [[42]])
         assert "42" in out
+
+
+class TestDeterministicJson:
+    """The JSON layer: byte-identical output for equal content."""
+
+    def test_json_ready_normalizes_containers(self):
+        from repro.analysis.report import json_ready
+
+        assert json_ready(frozenset(["b", "a"])) == ["a", "b"]
+        assert json_ready((1, "x")) == [1, "x"]
+        assert json_ready({"k": {2, 1}}) == {"k": [1, 2]}
+
+    def test_json_ready_renders_addresses_stably(self):
+        from repro.analysis.report import json_ready, stable_address
+        from repro.core.addresses import Binding
+        from repro.cps.parser import parse_cexp
+
+        call = parse_cexp("((lambda (x k) (exit)) (lambda (z j) (exit)) (lambda (r) (exit)))")
+        addr = Binding("x", (call,))
+        assert json_ready({addr: 1}) == {stable_address(addr): 1}
+        assert json_ready(addr) == stable_address(addr)
+
+    def test_render_json_is_insertion_order_independent(self):
+        from repro.analysis.report import render_json
+
+        forwards = {"a": 1, "b": {"x": frozenset([2, 1])}}
+        backwards = {"b": {"x": frozenset([1, 2])}, "a": 1}
+        assert render_json(forwards) == render_json(backwards)
+        assert render_json(forwards).endswith("\n")
+
+    def test_result_summary_golden_output(self):
+        """The pinned document: any change to key order, set ordering,
+        address rendering or the summary's shape shows up here as a
+        diff, which is the point."""
+        from repro.analysis.report import render_json, result_summary
+        from repro.config import assemble, preset_config
+        from repro.corpus import corpus_program
+
+        config = preset_config("1cfa", "cps")
+        program = corpus_program("cps", "mj09")
+        result = assemble(config).run(program)
+        golden = """\
+{
+  "configs": 6,
+  "elements": 6,
+  "flows": {
+    "a": [
+      "(lambda (z kz) (kz z))"
+    ],
+    "b": [
+      "(lambda (y ky) (ky y))"
+    ],
+    "id": [
+      "(lambda (x j) (j x))"
+    ],
+    "j": [
+      "(lambda (a) (id (lambda (y ky) (ky y)) (lambda (b) (exit))))",
+      "(lambda (b) (exit))"
+    ],
+    "k": [
+      "(lambda (r) (exit))"
+    ],
+    "x": [
+      "(lambda (y ky) (ky y))",
+      "(lambda (z kz) (kz z))"
+    ]
+  },
+  "label": "mj09/1cfa",
+  "precision": {
+    "max_flow": 2,
+    "mean_flow": 1.333,
+    "total_flows": 8,
+    "vars": 6
+  },
+  "states": 6,
+  "store_size": 8
+}
+"""
+        assert render_json(result_summary(result, label="mj09/1cfa")) == golden
+
+    def test_result_summary_works_for_fj(self):
+        from repro.analysis.report import result_summary
+        from repro.config import assemble, preset_config
+        from repro.corpus import corpus_program
+
+        program = corpus_program("fj", "animals")
+        result = assemble(preset_config("0cfa", "fj"), program=program).run(program)
+        summary = result_summary(result, seconds=1.23456789)
+        assert summary["seconds"] == 1.234568
+        assert summary["flows"] and all(
+            isinstance(vals, list) for vals in summary["flows"].values()
+        )

@@ -1,0 +1,96 @@
+"""Cross-process regressions: interning, hashing and pickling under ``spawn``.
+
+The satellite this file pins: unpickling hash-consed terms in a fresh
+process without re-interning *silently* breaks identity-fast equality
+(everything stays correct, just slow), and ``util.intern.rehydrate``
+repairs it.  ``spawn`` is used deliberately -- the strictest start
+method, nothing inherited, fresh hash randomization -- so these tests
+model a worker pool, a next-day cache load, and a cross-machine artifact
+all at once.  The probes live in :mod:`spawn_helpers` (spawn children
+must import their targets).
+"""
+
+import pickle
+
+import pytest
+
+import spawn_helpers
+from repro.config import PRESETS, preset_config
+from repro.corpus.cps_programs import MJ09, id_chain
+from repro.cps.parser import parse_program
+
+
+@pytest.fixture(scope="module")
+def spawn_pool():
+    import multiprocessing
+
+    context = multiprocessing.get_context("spawn")
+    with context.Pool(1) as pool:
+        yield pool
+
+
+class TestInternAcrossSpawn:
+    def test_unpickled_term_identity_breaks_without_rehydrate(self, spawn_pool):
+        term = parse_program(MJ09)
+        outcome = spawn_pool.apply(
+            spawn_helpers.probe_term_identity, (pickle.dumps(term), MJ09)
+        )
+        # structural equality and hashing survive the process boundary...
+        assert outcome["equal"] and outcome["hash_equal"]
+        # ...but the unpickled term is NOT the child pool's canonical
+        # object (the documented hazard)...
+        assert not outcome["identical_before_rehydrate"]
+        # ...until rehydrate() maps it onto the canonical representative.
+        assert outcome["identical_after_rehydrate"]
+
+    def test_deep_term_round_trip(self, spawn_pool):
+        from repro.cps.syntax import pp
+
+        term = id_chain(80)
+        outcome = spawn_pool.apply(
+            spawn_helpers.probe_term_identity, (pickle.dumps(term), pp(term))
+        )
+        assert outcome["equal"] and outcome["identical_after_rehydrate"]
+
+
+class TestPMapAcrossSpawn:
+    def test_string_keyed_pmap_hash_survives(self, spawn_pool):
+        from repro.util.pcollections import pmap
+
+        entries = (("x", 1), ("long-variable-name", 2), ("k", 3))
+        payload = pickle.dumps(pmap(dict(entries)))
+        outcome = spawn_pool.apply(spawn_helpers.probe_pmap_hash, (payload, entries))
+        assert outcome == {"equal": True, "hash_equal": True, "usable_as_key": True}
+
+
+class TestConfigsAcrossSpawn:
+    @pytest.mark.parametrize("preset_name", sorted(PRESETS))
+    def test_every_preset_config_round_trips(self, spawn_pool, preset_name):
+        config = PRESETS[preset_name].config
+        outcome = spawn_pool.apply(
+            spawn_helpers.probe_preset_config, (pickle.dumps(config), preset_name)
+        )
+        assert outcome == {
+            "equal": True,
+            "hash_equal": True,
+            "cache_key_equal": True,
+        }
+
+
+class TestStoresAcrossSpawn:
+    @pytest.mark.parametrize("preset_name", ["1cfa", "1cfa-gc", "kcfa-counting-fast"])
+    def test_frozen_store_round_trips(self, spawn_pool, preset_name):
+        """Frozen PMap stores (plain, GC'd, counting) keep structural
+        equality and hashing across processes, before and after
+        rehydration."""
+        from repro.config import assemble
+
+        config = preset_config(preset_name, "cps")
+        program = id_chain(12)
+        result = assemble(config, program=program).run(program)
+        outcome = spawn_pool.apply(
+            spawn_helpers.probe_frozen_store,
+            (pickle.dumps(result.fp[1]), 12, preset_name),
+        )
+        assert outcome["equal"] and outcome["hash_equal"]
+        assert outcome["rehydrated_equal"]

@@ -523,3 +523,60 @@ class TestRecordingStoreGCRoots:
             for (pstate, _guts) in global_store_explore(Domain(), None, "ignored")[0]
         }
         assert "EXTRA" in fp_states
+
+
+class TestSnapshotRestore:
+    """The warm-start boundary: snapshot/restore on the mutable store."""
+
+    def test_snapshot_is_an_immutable_image(self):
+        from repro.core.store import VersionedStore
+
+        vs = VersionedStore()
+        store = vs.empty()
+        vs.bind(store, "a", frozenset([1]))
+        snap = store.snapshot()
+        vs.bind(store, "a", frozenset([2]))
+        vs.bind(store, "b", frozenset([3]))
+        assert snap.data == {"a": frozenset([1])}
+        assert snap.versions == {"a": 1}
+        assert "b" not in snap.data
+
+    def test_restore_resumes_versions_with_an_empty_changelog(self):
+        from repro.core.store import MutableStore, VersionedStore
+
+        vs = VersionedStore()
+        store = vs.empty()
+        vs.bind(store, "a", frozenset([1]))
+        vs.bind(store, "a", frozenset([2]))
+        resumed = MutableStore.restore(store.snapshot())
+        assert resumed.mark() == 0
+        assert resumed.changed_since(0) == []
+        assert resumed.version("a") == 2  # history continues, not restarts
+        # a bind that adds nothing neither bumps nor logs
+        vs.bind(resumed, "a", frozenset([1]))
+        assert resumed.changed_since(0) == []
+        # genuine growth since the snapshot is exactly what the changelog shows
+        vs.bind(resumed, "a", frozenset([9]))
+        vs.bind(resumed, "c", frozenset([0]))
+        assert resumed.changed_since(0) == ["a", "c"]
+        assert resumed.version("a") == 3
+
+    def test_of_mapping_wraps_unknown_history(self):
+        from repro.core.store import MutableStore, StoreSnapshot
+        from repro.util.pcollections import pmap
+
+        snap = StoreSnapshot.of_mapping(pmap({"a": frozenset([1])}))
+        assert snap.versions == {"a": 1}
+        resumed = MutableStore.restore(snap)
+        assert resumed.get("a") == frozenset([1])
+        assert StoreSnapshot.of_mapping(resumed).data == snap.data
+
+    def test_snapshots_pickle(self):
+        import pickle
+
+        from repro.core.store import StoreSnapshot
+        from repro.util.pcollections import pmap
+
+        snap = StoreSnapshot.of_mapping(pmap({"a": frozenset([1])}))
+        loaded = pickle.loads(pickle.dumps(snap))
+        assert loaded == snap
