@@ -66,10 +66,10 @@ def detect_language(path: str, explicit: str | None) -> str:
     if explicit:
         return explicit
     suffix = Path(path).suffix.lstrip(".")
-    if suffix in ("cps", "lam", "fj"):
+    if suffix in ("cps", "lam", "fj", "imp"):
         return suffix
     raise SystemExit(
-        f"cannot infer language from {path!r}; pass --lang cps|lam|fj"
+        f"cannot infer language from {path!r}; pass --lang cps|lam|fj|imp"
     )
 
 
@@ -92,6 +92,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         from repro.lam import parse_expr
 
         value = evaluate(parse_expr(source), max_steps=args.max_steps)
+        print(f"value: {value.lam!r}")
+    elif lang == "imp":
+        from repro.cesk import evaluate
+        from repro.imp import lower_source
+
+        value = evaluate(lower_source(source), max_steps=args.max_steps)
         print(f"value: {value.lam!r}")
     else:
         from repro.fj import evaluate_fj, parse_program, typecheck_program
@@ -191,7 +197,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
     lang = detect_language(args.program, args.lang)
     source = read_source(args.program)
-    config = _resolve_config(args, lang)
+    # imp programs lower into the lam pipeline; the analysis is a lam analysis
+    config = _resolve_config(args, "lam" if lang == "imp" else lang)
 
     if lang == "cps":
         from repro.cps.parser import parse_program
@@ -202,10 +209,15 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             lambda: analysis.run(program, worklist=not config.shared)
         )
         flows = result.flows_to()
-    elif lang == "lam":
-        from repro.lam.parser import parse_expr
+    elif lang in ("lam", "imp"):
+        if lang == "imp":
+            from repro.imp import lower_source
 
-        program = parse_expr(source)
+            program = lower_source(source)
+        else:
+            from repro.lam.parser import parse_expr
+
+            program = parse_expr(source)
         analysis = _assemble(lambda: assemble(config))
         result, seconds = timed(
             lambda: analysis.run(program, worklist=not config.shared)
@@ -260,25 +272,35 @@ def cmd_batch(args: argparse.Namespace) -> int:
     if not args.programs and not args.corpus:
         raise SystemExit("batch needs program files and/or --corpus LANG")
     presets = args.preset or ["1cfa"]
-    jobs = _assemble(
-        lambda: jobs_for(
-            [
-                (detect_language(path, args.lang), Path(path).name, read_source(path))
-                for path in args.programs
-            ],
-            presets,
-        )
-    )
+
+    def batch_source(lang: str, source: str) -> tuple[str, str]:
+        """Spawn-safe (language, source): imp lowers to lam source text."""
+        if lang == "imp":
+            from repro.imp import lower_source
+            from repro.lam.syntax import pp
+
+            return "lam", pp(_assemble(lambda: lower_source(source)))
+        return lang, source
+
+    grid = []
+    for path in args.programs:
+        lang, source = batch_source(detect_language(path, args.lang), read_source(path))
+        grid.append((lang, Path(path).name, source))
+    jobs = _assemble(lambda: jobs_for(grid, presets))
     for lang in args.corpus:
         from repro.corpus import corpus_programs
 
         programs = _assemble(lambda: corpus_programs(lang))
+        # imp corpus programs are registered lowered: the jobs are lam
+        # analyses, named spawn-safely under the imp: corpus prefix
+        analysis_lang = "lam" if lang == "imp" else lang
+        prefix = "imp:" if lang == "imp" else ""
         for name in sorted(programs):
             for preset in presets:
                 jobs.append(
                     BatchJob(
-                        config=_assemble(lambda: preset_config(preset, lang)),
-                        corpus=name,
+                        config=_assemble(lambda: preset_config(preset, analysis_lang)),
+                        corpus=f"{prefix}{name}",
                         label=f"{lang}:{name}/{preset}",
                     )
                 )
@@ -313,6 +335,42 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.service.fuzz import FUZZ_PRESETS, render_fuzz_report, run_fuzz
+
+    presets = tuple(args.preset) if args.preset else FUZZ_PRESETS
+    report = run_fuzz(
+        seed=args.seed,
+        count=args.count,
+        presets=presets,
+        max_steps=args.max_steps,
+        max_evals=args.max_evals,
+    )
+    rendered = render_fuzz_report(report)
+    if args.report:
+        Path(args.report).write_text(rendered)
+        print(f"wrote {args.report}")
+    checked = ", ".join(f"{preset}: {n}" for preset, n in report["checked"].items())
+    print(
+        f"fuzzed {report['count']} programs (seed {report['seed']}, "
+        f"digest {report['corpus_digest'][:12]}); "
+        f"skipped {report['skipped']}; checked {checked}"
+    )
+    aborts = {p: n for p, n in report["aborted"].items() if n}
+    if aborts:
+        print("aborted (analysis budget): "
+              + ", ".join(f"{preset}: {n}" for preset, n in aborts.items()))
+    violations = report["violations"]
+    if violations:
+        print(f"\n{len(violations)} soundness violation(s):")
+        for violation in violations:
+            print(f"\n-- program {violation['index']} under {violation['preset']}:")
+            print(violation["shrunk"], end="")
+        return 1
+    print("no soundness violations")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -323,7 +381,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_p = sub.add_parser("run", help="execute with the concrete machine")
     run_p.add_argument("program", help="source file, or - for stdin")
-    run_p.add_argument("--lang", choices=("cps", "lam", "fj"))
+    run_p.add_argument("--lang", choices=("cps", "lam", "fj", "imp"))
     run_p.add_argument("--max-steps", type=int, default=100_000)
     run_p.set_defaults(fn=cmd_run)
 
@@ -331,7 +389,7 @@ def build_parser() -> argparse.ArgumentParser:
     an_p.add_argument(
         "program", nargs="?", default=None, help="source file, or - for stdin"
     )
-    an_p.add_argument("--lang", choices=("cps", "lam", "fj"))
+    an_p.add_argument("--lang", choices=("cps", "lam", "fj", "imp"))
     an_p.add_argument(
         "--preset",
         default=None,
@@ -398,7 +456,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="preset(s) to run each program under (repeatable; default 1cfa)",
     )
-    batch_p.add_argument("--lang", choices=("cps", "lam", "fj"))
+    batch_p.add_argument("--lang", choices=("cps", "lam", "fj", "imp"))
     batch_p.add_argument(
         "--jobs",
         type=int,
@@ -424,6 +482,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="include full flow tables in the report (larger output)",
     )
     batch_p.set_defaults(fn=cmd_batch)
+
+    fuzz_p = sub.add_parser(
+        "fuzz",
+        help="differential soundness fuzzing: generate seeded imp programs, "
+        "run them concretely and abstractly across a preset matrix, assert "
+        "abstract covers concrete (the nightly CI lane)",
+    )
+    fuzz_p.add_argument(
+        "--seed", type=int, default=0, help="generator seed (same seed, same corpus)"
+    )
+    fuzz_p.add_argument(
+        "--count", type=int, default=100, help="number of programs to generate"
+    )
+    fuzz_p.add_argument(
+        "--preset",
+        action="append",
+        default=None,
+        help="preset(s) to check coverage under (repeatable; default: the "
+        "context-sensitive matrix of repro.service.fuzz.FUZZ_PRESETS)",
+    )
+    fuzz_p.add_argument(
+        "--max-steps",
+        type=int,
+        default=200_000,
+        help="concrete-run budget; programs exceeding it are skipped",
+    )
+    fuzz_p.add_argument(
+        "--max-evals",
+        type=int,
+        default=10_000,
+        help="per-preset abstract evaluation budget; exceeding it aborts "
+        "(a deterministic count, so reports stay byte-identical)",
+    )
+    fuzz_p.add_argument(
+        "--report", default=None, help="write the deterministic JSON report here"
+    )
+    fuzz_p.set_defaults(fn=cmd_fuzz)
     return parser
 
 

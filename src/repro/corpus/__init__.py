@@ -6,7 +6,14 @@
   programs (Church arithmetic, the k-CFA-paradox example, ``blur``,
   ``eta``, ``sat``), shared by the CESK machine and -- via the CPS
   transform -- by the CPS analyses;
-* :mod:`repro.corpus.fj_programs`  -- Featherweight Java programs.
+* :mod:`repro.corpus.fj_programs`  -- Featherweight Java programs;
+* :mod:`repro.corpus.imp_programs` -- ``imp`` surface-language programs,
+  registered *lowered*: they are ``lam`` terms by the time the service
+  layer sees them, addressable as language ``imp`` or -- so batch jobs
+  whose configs carry language ``lam`` can name them spawn-safely -- as
+  ``lam`` programs under the ``imp:`` name prefix;
+* :mod:`repro.corpus.generate`     -- the seeded, type-directed ``imp``
+  program generator behind the differential fuzz harness.
 
 :func:`corpus_program` is the language-keyed lookup the service layer's
 batch jobs use to name corpus programs as plain (spawn-safe) strings.
@@ -29,13 +36,24 @@ def corpus_programs(language: str) -> dict:
         from repro.corpus.lam_programs import PROGRAMS
     elif language == "fj":
         from repro.corpus.fj_programs import PROGRAMS
+    elif language == "imp":
+        from repro.corpus.imp_programs import PROGRAMS
     else:
-        raise ValueError(f"unknown corpus language {language!r}; choose cps, lam or fj")
+        raise ValueError(
+            f"unknown corpus language {language!r}; choose cps, lam, fj or imp"
+        )
     return PROGRAMS
 
 
 def corpus_program(language: str, name: str) -> Any:
-    """Fetch a corpus program by ``(language, name)``."""
+    """Fetch a corpus program by ``(language, name)``.
+
+    ``imp`` programs register lowered, so they are also addressable as
+    ``lam`` programs under the ``imp:`` prefix -- how batch jobs (whose
+    configs carry the *analysis* language) name them spawn-safely.
+    """
+    if language == "lam" and name.startswith("imp:"):
+        return corpus_program("imp", name[len("imp:"):])
     programs = corpus_programs(language)
     try:
         return programs[name]

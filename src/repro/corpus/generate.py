@@ -1,0 +1,313 @@
+"""Seeded, type-directed generation of closed ``imp`` programs.
+
+The differential fuzz harness (:mod:`repro.service.fuzz`) needs corpora
+that are
+
+* **deterministic** -- the whole corpus is a pure function of
+  ``(seed, count, GenConfig)``: one ``random.Random(seed)`` stream,
+  no iteration over unordered containers, so the same seed reproduces
+  the same programs bit-for-bit on any machine (pinned in
+  ``tests/test_imp_generate.py``);
+* **closed by construction** -- every variable reference is drawn from
+  the scope tracked during generation and every ``while`` is a counting
+  loop over a fresh counter that only its own increment writes, so
+  generated programs parse, lower and *terminate concretely* without
+  any generate-and-filter retry loop;
+* **type-directed** -- the generator tracks ``int``/``bool``/function
+  types for every binding and only builds well-typed expressions, so
+  lowering never produces a stuck term (applying a numeral to two
+  booleans, say) and the concrete run always reaches a value;
+* **analysis-affordable** -- inside loop bodies, arithmetic and
+  comparisons keep one *literal* operand (``i = i + 1``, ``s < 3``),
+  the shape :mod:`repro.imp.lower` specializes to early-stopping case
+  towers; variable-variable operators are generated only in
+  straight-line code.  See PERFORMANCE.md ("The imp frontend at corpus
+  scale") for why the loop-body restriction is load-bearing.
+
+The knobs live on :class:`GenConfig`; sizes default to a handful of
+statements per program with shallow nesting, which keeps the whole
+preset matrix at fractions of a second per program.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+from repro.imp.syntax import (
+    EBinOp,
+    EBool,
+    ECall,
+    EFn,
+    EInt,
+    EUnary,
+    EVar,
+    Expr,
+    Program,
+    SAssign,
+    SIf,
+    SLet,
+    SReturn,
+    SWhile,
+    Stmt,
+    pp,
+)
+
+INT = "int"
+BOOL = "bool"
+
+
+@dataclass(frozen=True)
+class FnType:
+    """A first-order function type: parameter types and a result type."""
+
+    params: tuple[str, ...]
+    result: str
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Size and shape knobs for one generated program.
+
+    ``max_literal`` stays below :data:`repro.imp.lower.DOMAIN_BOUND` so
+    generated arithmetic is exercised both inside and at the saturation
+    boundary of the bounded domain.
+    """
+
+    max_stmts: int = 6  #: statements per top-level block
+    max_body_stmts: int = 2  #: statements inside a branch or loop body
+    max_depth: int = 2  #: nesting depth for if/while/fn
+    max_literal: int = 3  #: integer literals are drawn from 0..max_literal
+    max_loops: int = 2  #: while loops per program (the expensive shape)
+    fn_weight: int = 2  #: relative odds of declaring a helper function
+
+
+class _Gen:
+    """One program's worth of generation state."""
+
+    def __init__(self, rng: random.Random, config: GenConfig):
+        self.rng = rng
+        self.config = config
+        self.counter = 0
+        self.loops_left = config.max_loops
+        #: loop counters, readable but never assignment targets: the
+        #: closed-by-construction termination argument needs the final
+        #: increment to be each counter's only write
+        self.protected: set = set()
+
+    def fresh(self, base: str) -> str:
+        self.counter += 1
+        return f"{base}{self.counter}"
+
+    # -- expressions -------------------------------------------------------
+
+    def literal(self, ty: str) -> Expr:
+        if ty == BOOL:
+            return EBool(self.rng.random() < 0.5)
+        return EInt(self.rng.randint(0, self.config.max_literal))
+
+    def vars_of(self, env: dict, ty) -> list[str]:
+        return sorted(name for name, t in env.items() if t == ty)
+
+    def int_atom(self, env: dict) -> Expr:
+        names = self.vars_of(env, INT)
+        if names and self.rng.random() < 0.7:
+            return EVar(self.rng.choice(names))
+        return self.literal(INT)
+
+    def int_expr(self, env: dict, depth: int, in_loop: bool) -> Expr:
+        roll = self.rng.random()
+        if depth <= 0 or roll < 0.35:
+            return self.int_atom(env)
+        if roll < 0.85:
+            op = self.rng.choice(["+", "-", "*"])
+            return self.binop(op, env, depth, in_loop)
+        call = self.call_returning(env, INT, depth)
+        return call if call is not None else self.int_atom(env)
+
+    def bool_expr(self, env: dict, depth: int, in_loop: bool) -> Expr:
+        roll = self.rng.random()
+        names = self.vars_of(env, BOOL)
+        if depth <= 0:
+            if names and roll < 0.5:
+                return EVar(self.rng.choice(names))
+            return self.literal(BOOL)
+        if roll < 0.55:
+            op = self.rng.choice(["<", "<=", "=="])
+            return self.binop(op, env, depth, in_loop)
+        if roll < 0.7 and names:
+            return EVar(self.rng.choice(names))
+        if roll < 0.8:
+            return EUnary("!", self.bool_expr(env, depth - 1, in_loop))
+        op = self.rng.choice(["and", "or"])
+        return EBinOp(
+            op,
+            self.bool_expr(env, depth - 1, in_loop),
+            self.bool_expr(env, depth - 1, in_loop),
+        )
+
+    def binop(self, op: str, env: dict, depth: int, in_loop: bool) -> Expr:
+        """An integer operator; inside loops one operand is a literal."""
+        if in_loop:
+            subject = self.int_atom(env)
+            lit = self.literal(INT)
+            lhs, rhs = (lit, subject) if self.rng.random() < 0.5 else (subject, lit)
+            return EBinOp(op, lhs, rhs)
+        return EBinOp(
+            op,
+            self.int_expr(env, depth - 1, in_loop),
+            self.int_expr(env, depth - 1, in_loop),
+        )
+
+    def call_returning(self, env: dict, ty: str, depth: int) -> Expr | None:
+        """A call to some in-scope function with the right result type."""
+        candidates = sorted(
+            name
+            for name, t in env.items()
+            if isinstance(t, FnType) and t.result == ty
+        )
+        if not candidates:
+            return None
+        name = self.rng.choice(candidates)
+        fn_ty = env[name]
+        args = tuple(
+            self.int_atom(env) if p == INT else self.bool_expr(env, 0, False)
+            for p in fn_ty.params
+        )
+        return ECall(EVar(name), args)
+
+    # -- statements --------------------------------------------------------
+
+    def fn_decl(self, env: dict, depth: int) -> tuple[Stmt, str, FnType]:
+        """A helper function declaration: int params, int or bool result."""
+        name = self.fresh("f")
+        arity = self.rng.randint(1, 2)
+        params = tuple(self.fresh("a") for _ in range(arity))
+        result = INT if self.rng.random() < 0.8 else BOOL
+        inner = dict(env)
+        inner.update({p: INT for p in params})
+        body: list[Stmt] = []
+        if self.rng.random() < 0.5:
+            extra = self.fresh("v")
+            body.append(SLet(extra, self.int_expr(inner, depth, False)))
+            inner[extra] = INT
+        value = (
+            self.int_expr(inner, depth, False)
+            if result == INT
+            else self.bool_expr(inner, depth, False)
+        )
+        body.append(SReturn(value))
+        fn_ty = FnType(tuple(INT for _ in params), result)
+        return SLet(name, EFn(params, tuple(body))), name, fn_ty
+
+    def counting_loop(self, env: dict, depth: int) -> list[Stmt]:
+        """``let c = 0; while (c < k) { body...; c = c + 1; }``.
+
+        The counter is fresh and only the final increment writes it, so
+        the loop runs exactly ``k`` concrete iterations by construction.
+        """
+        counter = self.fresh("c")
+        bound = self.rng.randint(1, self.config.max_literal)
+        inner = dict(env)
+        inner[counter] = INT
+        self.protected.add(counter)
+        body = self.block(
+            inner,
+            depth - 1,
+            self.rng.randint(0, self.config.max_body_stmts),
+            in_loop=True,
+        )
+        self.protected.discard(counter)
+        body.append(SAssign(counter, EBinOp("+", EVar(counter), EInt(1))))
+        return [
+            SLet(counter, EInt(0)),
+            SWhile(EBinOp("<", EVar(counter), EInt(bound)), tuple(body)),
+        ]
+
+    def block(self, env: dict, depth: int, budget: int, in_loop: bool) -> list[Stmt]:
+        """A statement sequence; mutates ``env`` with its declarations."""
+        stmts: list[Stmt] = []
+        for _ in range(budget):
+            choices = ["let", "let"]
+            assignable = [n for n in self.vars_of(env, INT) if n not in self.protected]
+            if assignable:
+                choices.append("assign")
+            if depth > 0:
+                choices.append("if")
+                if not in_loop and self.loops_left > 0:
+                    choices.append("while")
+                if not in_loop:
+                    choices.extend(["fn"] * self.config.fn_weight)
+            kind = self.rng.choice(choices)
+            if kind == "let":
+                name = self.fresh("x")
+                if self.rng.random() < 0.8:
+                    stmts.append(SLet(name, self.int_expr(env, depth, in_loop)))
+                    env[name] = INT
+                else:
+                    stmts.append(SLet(name, self.bool_expr(env, depth, in_loop)))
+                    env[name] = BOOL
+            elif kind == "assign":
+                name = self.rng.choice(assignable)
+                if in_loop:
+                    # loop-carried updates stay in var (op) literal form
+                    op = self.rng.choice(["+", "-", "*"])
+                    stmts.append(
+                        SAssign(name, EBinOp(op, EVar(name), self.literal(INT)))
+                    )
+                else:
+                    stmts.append(SAssign(name, self.int_expr(env, depth, in_loop)))
+            elif kind == "if":
+                cond = self.bool_expr(env, depth - 1, in_loop)
+                then = self.block(dict(env), depth - 1, 1, in_loop)
+                els = (
+                    self.block(dict(env), depth - 1, 1, in_loop)
+                    if self.rng.random() < 0.6
+                    else []
+                )
+                stmts.append(SIf(cond, tuple(then), tuple(els)))
+            elif kind == "while":
+                self.loops_left -= 1
+                stmts.extend(self.counting_loop(env, depth))
+            else:  # fn
+                decl, name, fn_ty = self.fn_decl(env, depth - 1)
+                stmts.append(decl)
+                env[name] = fn_ty
+        return stmts
+
+    def program(self) -> Program:
+        env: dict = {}
+        body = self.block(
+            env, self.config.max_depth, self.rng.randint(2, self.config.max_stmts), False
+        )
+        body.append(SReturn(self.int_expr(env, 1, False)))
+        return Program(tuple(body))
+
+
+def generate_program(rng: random.Random, config: GenConfig | None = None) -> Program:
+    """One closed, well-typed, concretely terminating ``imp`` program."""
+    return _Gen(rng, config or GenConfig()).program()
+
+
+def generate_corpus(
+    seed: int, count: int, config: GenConfig | None = None
+) -> list[Program]:
+    """``count`` programs from one seeded stream -- the fuzz corpus.
+
+    Deterministic: ``generate_corpus(s, n)`` is a prefix of
+    ``generate_corpus(s, m)`` for ``n <= m``.
+    """
+    rng = random.Random(seed)
+    config = config or GenConfig()
+    return [generate_program(rng, config) for _ in range(count)]
+
+
+def corpus_digest(programs: list[Program]) -> str:
+    """A content digest of a corpus (over canonical ``pp`` renderings).
+
+    The determinism tests and the fuzz report pin this: the same seed
+    must reproduce the same digest on every platform and process.
+    """
+    payload = "\n".join(pp(program) for program in programs)
+    return hashlib.sha256(payload.encode()).hexdigest()

@@ -1,0 +1,81 @@
+"""Named ``imp`` corpus programs: the surface-language benchmark set.
+
+Each entry is ``imp`` source text that parses with
+:func:`repro.imp.parse_program` and lowers
+(:func:`repro.imp.lower_program`) into the direct-style lambda calculus,
+so the registered program *is* a ``lam`` term -- ``repro batch --corpus
+imp`` runs these cells through exactly the service path the ``lam``
+corpus uses, and every preset/engine/store-impl applies unchanged.
+
+The set is shaped by the lowering's cost model (see PERFORMANCE.md,
+"The imp frontend at corpus scale"): loop bodies update their variables
+against *literals* (``i = i + 1``, ``i < 3``), which the lowering
+specializes to early-stopping case towers; variable-variable arithmetic
+appears only in straight-line code, where each operand is a single
+abstract value.
+"""
+
+from __future__ import annotations
+
+from repro.lam.syntax import Expr
+
+#: name -> imp source text.  Sorted iteration over this dict is the
+#: corpus order the batch CLI uses.
+SOURCES: dict[str, str] = {
+    # straight-line arithmetic: every operator, saturation and monus
+    "arith": "let x = 1; let y = x + 2; let z = y * 2; return z - 1;",
+    # a conditional join threading one assigned variable
+    "branchy": (
+        "let x = 2; let y = 0;"
+        " if (x < 3) { y = x + 1; } else { y = x - 1; }"
+        " return y;"
+    ),
+    # the canonical counting loop (one loop-carried variable)
+    "counter": "let i = 0; while (i < 3) { i = i + 1; } return i;",
+    # count down to zero through monus
+    "countdown": "let n = 4; while (0 < n) { n = n - 1; } return n;",
+    # strict boolean operators and negation feeding a conditional
+    "bool-logic": (
+        "let a = true; let b = !a or (1 < 2);"
+        " if (a and b) { return 1; } else { return 0; }"
+    ),
+    # first-class functions: a higher-order combinator applied twice
+    "hof-twice": (
+        "fn twice(f, x) { return f(f(x)); }"
+        " fn inc(n) { return n + 1; }"
+        " return twice(inc, 1);"
+    ),
+    # a function called from inside a loop body
+    "fn-in-loop": (
+        "fn inc(n) { return n + 1; }"
+        " let i = 0; while (i < 3) { i = inc(i); }"
+        " return i;"
+    ),
+    # two loop-carried variables, a conditional inside the loop
+    "branch-in-loop": (
+        "let i = 0; let s = 0;"
+        " while (i < 3) { if (i < 2) { s = s + 1; } else { s = s - 1; } i = i + 1; }"
+        " return s;"
+    ),
+    # nested counting loops (the most expensive shape kept in the set)
+    "nested-loops": (
+        "let t = 0; let i = 0;"
+        " while (i < 2) { let j = 0; while (j < 2) { t = t + 1; j = j + 1; } i = i + 1; }"
+        " return t;"
+    ),
+}
+
+
+def _lowered() -> dict[str, Expr]:
+    from repro.imp import lower_source
+
+    return {name: lower_source(source) for name, source in SOURCES.items()}
+
+
+#: name -> lowered term, the registry :func:`repro.corpus.corpus_program`
+#: serves (as language ``imp``, or as ``lam`` under the ``imp:`` prefix).
+PROGRAMS: dict[str, Expr] = _lowered()
+
+
+def program(name: str) -> Expr:
+    return PROGRAMS[name]

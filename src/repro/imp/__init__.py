@@ -1,0 +1,101 @@
+"""``repro.imp``: the imperative surface-language frontend.
+
+Programs written in ``imp`` (let/assignment, ``if``, ``while``,
+first-class functions, integer and boolean literals) parse with
+:func:`parse_program` and lower with :func:`lower_program` into the
+direct-style lambda calculus -- after which the entire existing pipeline
+applies unchanged: the concrete CESK machine, every analysis preset,
+engine and store implementation, the CPS transform, and the service
+layer (``repro batch --corpus imp``).
+
+:func:`evaluate_imp` / :func:`truthy` / :func:`as_int` are the concrete
+observation helpers the differential fuzz harness
+(:mod:`repro.service.fuzz`) and the tests build their oracles from.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.imp.lower import LoweringError, lower_program, lower_source
+from repro.imp.parser import ImpParseError, parse_program
+from repro.imp.syntax import Program, pp, program_size
+
+__all__ = [
+    "ImpParseError",
+    "LoweringError",
+    "Program",
+    "as_int",
+    "evaluate_imp",
+    "lower_program",
+    "lower_source",
+    "parse_program",
+    "pp",
+    "program_size",
+    "truthy",
+]
+
+
+def evaluate_imp(source: str, max_steps: int = 200_000):
+    """Parse, lower and concretely evaluate; returns the final closure."""
+    from repro.cesk.concrete import evaluate
+
+    return evaluate(lower_source(source), max_steps=max_steps)
+
+
+def truthy(value: Any) -> bool:
+    """Decode a Church boolean closure (``(lambda (t f) t/f)``).
+
+    Works structurally on the *lambda* of the final closure, so it is
+    insensitive to ``uniquify`` renaming: a two-parameter lambda whose
+    body is its first parameter is ``true``, its second ``false``.
+    """
+    from repro.lam.syntax import Lam, Var
+
+    lam = value.lam if hasattr(value, "lam") else value
+    if isinstance(lam, Lam) and len(lam.params) == 2 and isinstance(lam.body, Var):
+        if lam.body.name == lam.params[0]:
+            return True
+        if lam.body.name == lam.params[1]:
+            return False
+    raise ValueError(f"not a Church boolean: {lam!r}")
+
+
+def as_int(source: str, bound: int | None = None, max_steps: int = 200_000) -> int:
+    """Concretely read an integer-valued program back as a Python int.
+
+    Numerals produced by arithmetic are behaviorally -- not structurally
+    -- equal to literals, so the decoding is differential: wrap the
+    program as ``return (<program>()) == k;`` for each candidate ``k``
+    and evaluate.  O(bound) concrete runs; a test/fuzz oracle, not a
+    fast path.  ``bound`` defaults to :data:`repro.imp.lower.DOMAIN_BOUND`
+    (arithmetic saturates there, so no value can exceed it).
+    """
+    from repro.cesk.concrete import evaluate
+    from repro.imp.lower import (
+        DOMAIN_BOUND,
+        _Lowerer,
+        _PRELUDE_ORDER,
+        _prelude_term,
+        scott_numeral,
+    )
+    from repro.lam.syntax import App, Let, Var
+
+    if bound is None:
+        bound = DOMAIN_BOUND
+    program = parse_program(source)
+    for candidate in range(bound + 1):
+        lowerer = _Lowerer()
+        body = lowerer.lower_program(program)
+        eq = lowerer._combinator("__eq")
+        probe: Any = Let(
+            "__probe", body, App(eq, (Var("__probe"), scott_numeral(candidate)))
+        )
+        # close over the prelude the probe itself needs (the program body
+        # already carries its own prelude lets inside)
+        for name in reversed(_PRELUDE_ORDER):
+            if name in lowerer._used:
+                probe = Let(name, _prelude_term(name), probe)
+        if truthy(evaluate(probe, max_steps=max_steps)):
+            return candidate
+    raise ValueError(f"program value exceeds decode bound {bound}")

@@ -1,0 +1,183 @@
+"""Greedy structural shrinking of ``imp`` programs.
+
+When the differential fuzz harness (:mod:`repro.service.fuzz`) finds a
+soundness violation, the raw generated program is rarely the story --
+:func:`shrink` reduces it to a *local minimum*: a program that still
+satisfies the caller's predicate ("still violates") but where no single
+shrink step does.
+
+The search is deterministic greedy descent: enumerate single-edit
+variants in a fixed order -- statement deletion first (the biggest
+reductions), then control-flow hoisting (a branch or loop replaced by
+its body), then expression simplification (replace by an atom or a
+subexpression, halve literals) -- and restart from the first variant the
+predicate accepts.  The predicate is called behind a guard that treats
+*any* exception as rejection, so variants that break scoping (deleting
+a ``let`` whose variable is still read) fall out of the search without
+special casing; since generated programs are closed by construction,
+every accepted variant is again a valid program.
+
+``max_checks`` bounds the total number of predicate calls (each one
+typically replays a concrete run plus a preset matrix), making the
+worst-case shrink cost explicit at the call site.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.imp.syntax import (
+    EBinOp,
+    EBool,
+    ECall,
+    EFn,
+    EInt,
+    EUnary,
+    EVar,
+    Expr,
+    Program,
+    SAssign,
+    SExpr,
+    SIf,
+    SLet,
+    SReturn,
+    SWhile,
+    Stmt,
+    program_size,
+)
+
+_ATOMS = (EInt(0), EInt(1), EBool(False), EBool(True))
+
+
+def _expr_variants(expr: Expr) -> Iterator[Expr]:
+    """Single-step simplifications of one expression, simplest first."""
+    for atom in _ATOMS:
+        if atom != expr:
+            yield atom
+    if isinstance(expr, EInt):
+        if expr.value > 1:
+            yield EInt(expr.value // 2)
+            yield EInt(expr.value - 1)
+        return
+    if isinstance(expr, (EBool, EVar)):
+        return
+    if isinstance(expr, EUnary):
+        yield expr.operand
+        for sub in _expr_variants(expr.operand):
+            yield EUnary(expr.op, sub)
+    elif isinstance(expr, EBinOp):
+        yield expr.lhs
+        yield expr.rhs
+        for sub in _expr_variants(expr.lhs):
+            yield EBinOp(expr.op, sub, expr.rhs)
+        for sub in _expr_variants(expr.rhs):
+            yield EBinOp(expr.op, expr.lhs, sub)
+    elif isinstance(expr, ECall):
+        yield from expr.args
+        for index, arg in enumerate(expr.args):
+            for sub in _expr_variants(arg):
+                yield ECall(
+                    expr.fun, expr.args[:index] + (sub,) + expr.args[index + 1 :]
+                )
+    elif isinstance(expr, EFn):
+        for body in _block_variants(expr.body):
+            yield EFn(expr.params, body)
+
+
+def _with_expr(stmt: Stmt, expr: Expr) -> Stmt:
+    """The statement with its direct expression replaced."""
+    if isinstance(stmt, SLet):
+        return SLet(stmt.name, expr)
+    if isinstance(stmt, SAssign):
+        return SAssign(stmt.name, expr)
+    if isinstance(stmt, SReturn):
+        return SReturn(expr)
+    if isinstance(stmt, SExpr):
+        return SExpr(expr)
+    if isinstance(stmt, SIf):
+        return SIf(expr, stmt.then, stmt.els)
+    if isinstance(stmt, SWhile):
+        return SWhile(expr, stmt.body)
+    raise TypeError(f"not an imp statement: {stmt!r}")
+
+
+def _stmt_expr(stmt: Stmt) -> Expr | None:
+    if isinstance(stmt, (SLet, SAssign)):
+        return stmt.rhs
+    if isinstance(stmt, (SReturn, SExpr)):
+        return stmt.value
+    if isinstance(stmt, (SIf, SWhile)):
+        return stmt.cond
+    return None
+
+
+def _stmt_variants(stmt: Stmt) -> Iterator[Stmt | tuple[Stmt, ...]]:
+    """Single-step rewrites of one statement; tuples splice into the block."""
+    if isinstance(stmt, SIf):
+        yield stmt.then  # keep only the taken branch
+        yield stmt.els
+        for block in _block_variants(stmt.then):
+            yield SIf(stmt.cond, block, stmt.els)
+        for block in _block_variants(stmt.els):
+            yield SIf(stmt.cond, stmt.then, block)
+    elif isinstance(stmt, SWhile):
+        yield stmt.body  # one unrolled iteration, no loop
+        for block in _block_variants(stmt.body):
+            yield SWhile(stmt.cond, block)
+    expr = _stmt_expr(stmt)
+    if expr is not None:
+        for sub in _expr_variants(expr):
+            yield _with_expr(stmt, sub)
+
+
+def _block_variants(block: tuple[Stmt, ...]) -> Iterator[tuple[Stmt, ...]]:
+    """Single-edit variants of a statement block: delete, then rewrite."""
+    for index in range(len(block)):
+        yield block[:index] + block[index + 1 :]
+    for index, stmt in enumerate(block):
+        for variant in _stmt_variants(stmt):
+            splice = variant if isinstance(variant, tuple) else (variant,)
+            yield block[:index] + splice + block[index + 1 :]
+
+
+def variants(program: Program) -> Iterator[Program]:
+    """All single-edit shrink candidates of a program, deterministic order."""
+    for block in _block_variants(program.body):
+        yield Program(block)
+
+
+def shrink(
+    program: Program,
+    predicate: Callable[[Program], bool],
+    max_checks: int = 2000,
+) -> Program:
+    """Greedily reduce ``program`` while ``predicate`` stays true.
+
+    Returns a 1-minimal program when the check budget allows: no single
+    deletion, hoist, or expression simplification preserves the
+    predicate.  ``predicate`` exceptions count as rejection (and against
+    the budget), so it may assume structurally valid input only.
+    """
+
+    def holds(candidate: Program) -> bool:
+        try:
+            return bool(predicate(candidate))
+        except Exception:
+            return False
+
+    checks = 0
+    current = program
+    progress = True
+    while progress and checks < max_checks:
+        progress = False
+        for candidate in variants(current):
+            if checks >= max_checks:
+                break
+            if program_size(candidate) >= program_size(current):
+                continue
+            checks += 1
+            if holds(candidate):
+                current = candidate
+                progress = True
+                break
+    return current

@@ -1,0 +1,270 @@
+"""Surface syntax of ``imp``: a small imperative language over the pipeline.
+
+``imp`` is the repository's "real-program" frontend: statements
+(``let``/assignment, ``if``/``else``, ``while``, ``return``), first-class
+functions (``fn`` literals and declarations), integer and boolean
+literals, and the usual arithmetic/comparison/logical operators.  The
+whole language lowers (:mod:`repro.imp.lower`) into the direct-style
+lambda calculus of :mod:`repro.lam`, so every engine, preset, store
+implementation and the service layer run on ``imp`` programs unchanged.
+
+The AST is deliberately *not* hash-consed: surface programs are
+short-lived inputs to the lowering pass (and the fuzz shrinker rewrites
+them freely); only the lowered :class:`repro.lam.syntax.Expr` enters the
+intern pool.  Nodes are frozen dataclasses with structural equality, and
+:func:`pp` renders canonical source that re-parses to an equal tree
+(``parse_program(pp(p)) == p`` -- pinned in ``tests/test_imp.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+class Stmt:
+    """A statement."""
+
+    __slots__ = ()
+
+
+class Expr:
+    """An expression."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Program:
+    """A whole program: a statement block whose value is its ``return``."""
+
+    body: tuple[Stmt, ...]
+
+    def __repr__(self) -> str:
+        return pp(self)
+
+
+# -- expressions ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EInt(Expr):
+    """An integer literal (lowered to a Church numeral)."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class EBool(Expr):
+    """``true`` or ``false`` (lowered to a Church boolean)."""
+
+    value: bool
+
+
+@dataclass(frozen=True)
+class EVar(Expr):
+    """A variable reference."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class EFn(Expr):
+    """``fn (x, y) { ... }``: a first-class function literal."""
+
+    params: tuple[str, ...]
+    body: tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class ECall(Expr):
+    """``f(a, b)``: call-by-value application."""
+
+    fun: Expr
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class EUnary(Expr):
+    """``!e``: logical negation."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class EBinOp(Expr):
+    """A binary operator: ``+ - * == <= < and or``."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+
+# -- statements -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SLet(Stmt):
+    """``let x = e;``: declare and bind a new variable."""
+
+    name: str
+    rhs: Expr
+
+
+@dataclass(frozen=True)
+class SAssign(Stmt):
+    """``x = e;``: rebind an already-declared variable."""
+
+    name: str
+    rhs: Expr
+
+
+@dataclass(frozen=True)
+class SIf(Stmt):
+    """``if (c) { ... } else { ... }`` (the else block may be empty)."""
+
+    cond: Expr
+    then: tuple[Stmt, ...]
+    els: tuple[Stmt, ...] = ()
+
+
+@dataclass(frozen=True)
+class SWhile(Stmt):
+    """``while (c) { ... }``."""
+
+    cond: Expr
+    body: tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class SReturn(Stmt):
+    """``return e;``: the value of the enclosing function (or program)."""
+
+    value: Expr
+
+
+@dataclass(frozen=True)
+class SExpr(Stmt):
+    """``e;``: evaluate for effect (calls), discard the value."""
+
+    value: Expr
+
+
+# -- traversal helpers ------------------------------------------------------
+
+
+def stmt_exprs(stmt: Stmt) -> Iterator[Expr]:
+    """The expressions a statement holds directly (not recursive)."""
+    if isinstance(stmt, (SLet, SAssign)):
+        yield stmt.rhs
+    elif isinstance(stmt, SIf):
+        yield stmt.cond
+    elif isinstance(stmt, SWhile):
+        yield stmt.cond
+    elif isinstance(stmt, (SReturn, SExpr)):
+        yield stmt.value
+
+
+def stmt_blocks(stmt: Stmt) -> Iterator[tuple[Stmt, ...]]:
+    """The statement blocks nested directly inside a statement."""
+    if isinstance(stmt, SIf):
+        yield stmt.then
+        yield stmt.els
+    elif isinstance(stmt, SWhile):
+        yield stmt.body
+
+
+def program_size(program: Program) -> int:
+    """Total number of statements and expression nodes (shrinker metric)."""
+
+    def expr_size(expr: Expr) -> int:
+        if isinstance(expr, EFn):
+            return 1 + sum(size_of(s) for s in expr.body)
+        if isinstance(expr, ECall):
+            return 1 + expr_size(expr.fun) + sum(expr_size(a) for a in expr.args)
+        if isinstance(expr, EUnary):
+            return 1 + expr_size(expr.operand)
+        if isinstance(expr, EBinOp):
+            return 1 + expr_size(expr.lhs) + expr_size(expr.rhs)
+        return 1
+
+    def size_of(stmt: Stmt) -> int:
+        total = 1 + sum(expr_size(e) for e in stmt_exprs(stmt))
+        for block in stmt_blocks(stmt):
+            total += sum(size_of(s) for s in block)
+        return total
+
+    return sum(size_of(s) for s in program.body)
+
+
+# -- pretty printer ---------------------------------------------------------
+
+#: Binding strength per operator, loosest first (mirrors the parser).
+_PRECEDENCE = {
+    "or": 1,
+    "and": 2,
+    "==": 4,
+    "<=": 4,
+    "<": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+}
+
+
+def pp_expr(expr: Expr, parent_prec: int = 0) -> str:
+    """Render an expression with minimal parentheses."""
+    if isinstance(expr, EInt):
+        return str(expr.value)
+    if isinstance(expr, EBool):
+        return "true" if expr.value else "false"
+    if isinstance(expr, EVar):
+        return expr.name
+    if isinstance(expr, EFn):
+        body = " ".join(pp_stmt(s) for s in expr.body)
+        sep = " " if body else ""
+        return f"fn ({', '.join(expr.params)}) {{{sep}{body}{sep}}}"
+    if isinstance(expr, ECall):
+        fun = pp_expr(expr.fun, 7)
+        return f"{fun}({', '.join(pp_expr(a) for a in expr.args)})"
+    if isinstance(expr, EUnary):
+        text = f"!{pp_expr(expr.operand, 3)}"
+        return f"({text})" if parent_prec > 3 else text
+    if isinstance(expr, EBinOp):
+        prec = _PRECEDENCE[expr.op]
+        text = (
+            f"{pp_expr(expr.lhs, prec)} {expr.op} {pp_expr(expr.rhs, prec + 1)}"
+        )
+        return f"({text})" if prec < parent_prec else text
+    raise TypeError(f"not an imp expression: {expr!r}")
+
+
+def _pp_block(body: tuple[Stmt, ...]) -> str:
+    inner = " ".join(pp_stmt(s) for s in body)
+    return f"{{ {inner} }}" if inner else "{ }"
+
+
+def pp_stmt(stmt: Stmt) -> str:
+    """Render one statement as canonical single-line source."""
+    if isinstance(stmt, SLet):
+        return f"let {stmt.name} = {pp_expr(stmt.rhs)};"
+    if isinstance(stmt, SAssign):
+        return f"{stmt.name} = {pp_expr(stmt.rhs)};"
+    if isinstance(stmt, SIf):
+        text = f"if ({pp_expr(stmt.cond)}) {_pp_block(stmt.then)}"
+        if stmt.els:
+            text += f" else {_pp_block(stmt.els)}"
+        return text
+    if isinstance(stmt, SWhile):
+        return f"while ({pp_expr(stmt.cond)}) {_pp_block(stmt.body)}"
+    if isinstance(stmt, SReturn):
+        return f"return {pp_expr(stmt.value)};"
+    if isinstance(stmt, SExpr):
+        return f"{pp_expr(stmt.value)};"
+    raise TypeError(f"not an imp statement: {stmt!r}")
+
+
+def pp(program: Program) -> str:
+    """Canonical source text: one statement per line, trailing newline."""
+    return "".join(pp_stmt(s) + "\n" for s in program.body)

@@ -15,20 +15,29 @@ store gives every run a change delta -- and turns them into throughput:
   machine-readable report (the CLI's ``repro batch``);
 * :mod:`repro.service.incremental` -- warm-start re-analysis: seed the
   worklist engines with a cached fixed point so re-analysing a lightly
-  edited program costs O(edit), not O(program).
+  edited program costs O(edit), not O(program);
+* :mod:`repro.service.fuzz` -- ``run_fuzz``: differential soundness
+  testing of generated ``imp`` programs (abstract covers concrete)
+  across a preset matrix, with shrinking and a deterministic report
+  (the CLI's ``repro fuzz`` and the nightly CI lane).
 """
 
 from repro.service.batch import BatchJob, BatchReport, run_batch
 from repro.service.cache import FixpointCache, cache_key, program_digest
+from repro.service.fuzz import FUZZ_PRESETS, check_program, render_fuzz_report, run_fuzz
 from repro.service.incremental import reanalyse, warmable
 
 __all__ = [
     "BatchJob",
     "BatchReport",
+    "FUZZ_PRESETS",
     "FixpointCache",
     "cache_key",
+    "check_program",
     "program_digest",
     "reanalyse",
+    "render_fuzz_report",
     "run_batch",
+    "run_fuzz",
     "warmable",
 ]

@@ -1,6 +1,5 @@
 """The abstract CESK analysis family."""
 
-import pytest
 
 from repro.core.lattice import AbsNat
 from repro.cesk.analysis import (
@@ -13,7 +12,6 @@ from repro.cesk.analysis import (
 from repro.cesk.concrete import ConcreteCESKInterface, evaluate
 from repro.cesk.machine import inject
 from repro.cesk.semantics import is_final, mnext_cesk
-from repro.lam.parser import parse_expr
 from repro.corpus.lam_programs import PROGRAMS, apply_tower, eta_chain
 
 TERMINATING = ["id-simple", "mj09", "eta", "church-two-two"]

@@ -307,3 +307,62 @@ class TestBatchCommand:
     def test_batch_requires_programs(self):
         with pytest.raises(SystemExit, match="batch needs"):
             main(["batch"])
+
+
+@pytest.fixture
+def imp_file(tmp_path):
+    path = tmp_path / "prog.imp"
+    path.write_text(
+        "let i = 0;\nwhile (i < 3) { i = i + 1; }\nreturn i;\n"
+    )
+    return str(path)
+
+
+class TestImpFrontend:
+    def test_detects_imp_extension(self):
+        assert detect_language("x.imp", None) == "imp"
+
+    def test_run_imp(self, imp_file, capsys):
+        assert main(["run", imp_file]) == 0
+        # the loop counts to 3: a Scott numeral with three successor layers
+        assert capsys.readouterr().out.startswith("value: (lambda")
+
+    def test_analyze_imp(self, imp_file, capsys):
+        assert main(["analyze", imp_file, "--preset", "1cfa"]) == 0
+        out = capsys.readouterr().out
+        assert "states" in out
+
+    def test_batch_mixes_imp_files_and_corpus(self, imp_file, tmp_path, capsys):
+        argv = [
+            "batch", imp_file,
+            "--corpus", "imp",
+            "--preset", "1cfa-fused",
+            "--cache-dir", str(tmp_path / "fixcache"),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "imp:arith/1cfa-fused" in out
+
+
+class TestFuzzCommand:
+    def test_fuzz_smoke_writes_report(self, tmp_path, capsys):
+        report_path = tmp_path / "fuzz.json"
+        argv = [
+            "fuzz", "--seed", "42", "--count", "3",
+            "--preset", "1cfa-fused",
+            "--report", str(report_path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "no soundness violations" in out
+        first = report_path.read_text()
+
+        assert main(argv) == 0
+        assert report_path.read_text() == first  # byte-identical rerun
+
+        import json
+
+        document = json.loads(first)
+        assert document["schema"] == "fuzz-report/1"
+        assert document["seed"] == 42
+        assert document["violations"] == []

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.addresses import Binding, KCFA, ZeroCFA
+from repro.core.addresses import Binding, KCFA
 from repro.core.lattice import AbsNat
 from repro.core.store import CountingStore
 from repro.cps.analysis import (
@@ -14,7 +14,6 @@ from repro.cps.analysis import (
     analyse_with_gc,
     analyse_zerocfa,
 )
-from repro.cps.parser import parse_cexp
 from repro.cps.syntax import Lam
 from repro.corpus.cps_programs import PROGRAMS, heap_clone, id_chain
 
@@ -65,7 +64,6 @@ class TestPolyvariance:
     def test_id_chain_separation_grows_with_n(self):
         program = id_chain(4)
         flows0 = flow_sizes(analyse_zerocfa(program))
-        flows1 = flow_sizes(analyse_kcfa(program, 1))
         # monovariant: all four arguments merge through the shared parameter
         assert flows0["x"] == 4
         # 1CFA: per-address (per-context) bindings of x each hold one lambda
@@ -193,7 +191,7 @@ class TestResultAccessors:
     def test_flows_to_values_are_lambdas(self):
         flows = analyse_zerocfa(PROGRAMS["mj09"]).flows_to()
         for lams in flows.values():
-            assert all(isinstance(l, Lam) for l in lams)
+            assert all(isinstance(value, Lam) for value in lams)
 
     def test_global_store_has_bindings(self):
         result = analyse_kcfa(PROGRAMS["identity"], 1)

@@ -18,7 +18,7 @@ from repro.cps.analysis import (
     analyse_zerocfa,
 )
 from repro.cps.concrete import ConcreteCPSInterface, interpret_trace
-from repro.cps.semantics import Clo, inject, mnext
+from repro.cps.semantics import inject, mnext
 from repro.corpus.cps_programs import PROGRAMS, id_chain
 
 TERMINATING = ["identity", "id-id", "mj09", "self-apply"]

@@ -5,11 +5,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cps.concrete import interpret_with_heap
-from repro.cps.syntax import Call, Lam as CLam, Ref, is_closed, subterms as cps_subterms
+from repro.cps.syntax import Call, Lam as CLam, is_closed, subterms as cps_subterms
 from repro.cesk.concrete import evaluate
 from repro.lam.cps_transform import cps_convert
 from repro.lam.parser import parse_expr
-from repro.lam.syntax import App, Lam, Let, Var
+from repro.lam.syntax import Lam
 from repro.corpus.lam_programs import (
     PROGRAMS,
     apply_tower,

@@ -9,7 +9,6 @@ from repro.fj.syntax import (
     ClassDef,
     FieldAccess,
     Invoke,
-    MethodDef,
     New,
     OBJECT,
     Program,

@@ -10,7 +10,7 @@ from repro.core.galois import (
     store_sharing_connection,
     store_sharing_gamma,
 )
-from repro.core.lattice import MapLattice, PowersetLattice
+from repro.core.lattice import PowersetLattice
 from repro.core.store import BasicStore
 from repro.util.pcollections import pmap
 

@@ -13,7 +13,6 @@ closed and well-formed by construction, so sticking cannot happen; the
 budget only filters omega-like loops).
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -105,8 +104,8 @@ def test_transform_preserves_and_cps_covers(program: Expr):
 
     result = analyse_cps_shared(cps_program, 0)
     answers = result.flows_to().get("r", frozenset())
-    assert user_params(concrete.lam) in {user_params(l) for l in answers} or any(
-        user_params(l) == concrete.lam.params for l in answers
+    assert user_params(concrete.lam) in {user_params(a) for a in answers} or any(
+        user_params(a) == concrete.lam.params for a in answers
     )
 
 

@@ -1,0 +1,90 @@
+"""Differential-soundness fuzz harness (the nightly CI entrypoint).
+
+Generates a seeded corpus of imp programs, checks the executable
+soundness statement (abstract covers concrete) across a preset matrix,
+and writes CI-friendly artifacts::
+
+    PYTHONPATH=src python tools/fuzz_soundness.py --seed 42 --count 300 \\
+        --report fuzz-report.json --artifacts counterexamples/
+
+* ``--report``     deterministic JSON (byte-identical for one seed);
+* ``--artifacts``  one ``violation_<index>_<preset>.imp`` file per shrunk
+  counterexample -- empty directory means a clean run;
+* exit status      0 on zero violations, 1 otherwise.
+
+``repro fuzz`` is the same harness without the artifacts directory; the
+library entrypoint is :func:`repro.service.fuzz.run_fuzz`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.service.fuzz import FUZZ_PRESETS, render_fuzz_report, run_fuzz  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--count", type=int, default=300)
+    parser.add_argument(
+        "--preset", action="append", default=None, help="repeatable; default matrix"
+    )
+    parser.add_argument("--max-steps", type=int, default=200_000)
+    parser.add_argument(
+        "--max-evals",
+        type=int,
+        default=10_000,
+        help="per-preset abstract evaluation budget (deterministic abort)",
+    )
+    parser.add_argument("--report", default="fuzz-report.json")
+    parser.add_argument(
+        "--artifacts",
+        default=None,
+        help="directory for shrunk counterexample .imp files (created if missing)",
+    )
+    args = parser.parse_args(argv)
+
+    presets = tuple(args.preset) if args.preset else FUZZ_PRESETS
+    report = run_fuzz(
+        seed=args.seed,
+        count=args.count,
+        presets=presets,
+        max_steps=args.max_steps,
+        max_evals=args.max_evals,
+    )
+    Path(args.report).write_text(render_fuzz_report(report))
+    print(f"wrote {args.report} (corpus digest {report['corpus_digest'][:12]})")
+
+    violations = report["violations"]
+    if args.artifacts:
+        artifacts = Path(args.artifacts)
+        artifacts.mkdir(parents=True, exist_ok=True)
+        for violation in violations:
+            name = f"violation_{violation['index']}_{violation['preset']}.imp"
+            (artifacts / name).write_text(violation["shrunk"])
+        if violations:
+            print(f"wrote {len(violations)} counterexample(s) to {artifacts}/")
+
+    checked = ", ".join(f"{preset}: {n}" for preset, n in report["checked"].items())
+    print(
+        f"fuzzed {report['count']} programs (seed {report['seed']}); "
+        f"skipped {report['skipped']}; checked {checked}"
+    )
+    aborts = {p: n for p, n in report["aborted"].items() if n}
+    if aborts:
+        print("aborted (analysis budget): "
+              + ", ".join(f"{preset}: {n}" for preset, n in aborts.items()))
+    if violations:
+        print(f"{len(violations)} soundness violation(s)", file=sys.stderr)
+        return 1
+    print("no soundness violations")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
