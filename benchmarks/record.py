@@ -26,7 +26,7 @@ the same code the ``repro batch`` CLI runs.
 The JSON shape (see PERFORMANCE.md for how to read it)::
 
     {
-      "schema": "engine-suite/3",
+      "schema": "engine-suite/4",
       "workloads": {
         "<workload>": {
           "<engine>/<store_impl>": {            # generic transition
@@ -45,7 +45,11 @@ The JSON shape (see PERFORMANCE.md for how to read it)::
       },
       "service": {
         "batch-pool":  {"serial_seconds", "pool_seconds", "workers",
-                        "jobs", "speedup", "cpu_count"},
+                        "pool_workers", "inline_fallbacks", "jobs",
+                        "speedup", "cpu_count"},
+        "parallel-fixpoint": {"sequential_seconds", "sharded_seconds",
+                              "speedup", "shards", "cpu_count",
+                              "gil_enabled", "rounds", "peak_frontier"},
         "cache":       {"cold_seconds", "hit_seconds", "speedup"},
         "warm-chain":  {"cold_seconds", "warm_seconds", "speedup",
                         "cold_evaluations", "warm_evaluations"}
@@ -60,12 +64,20 @@ is less than ``--min-speedup`` (default 2.0) times faster than kleene on
 any workload that runs both, (b) the fused transition is less than
 ``--min-fused-speedup`` (default 2.0) times faster than the generic
 transition on any workload carrying both depgraph/versioned rows, (c)
-the 4-worker batch pool is less than ``--min-pool-speedup`` (default
-2.0) times faster than the serial sweep -- skipped with a notice when
-the machine has fewer cores than workers, since a pool cannot beat
-serial on one core -- or (d) warm-starting the one-edit chain workload
-is less than ``--min-warm-speedup`` (default 5.0) times faster than
-re-analysing it cold.
+the adaptive batch pool *loses* to the serial sweep: less than
+``--min-pool-speedup`` (default 1.0, minus a small timing-jitter
+tolerance) at **any** core count -- the adaptive runner degrades to the
+inline path when a pool cannot pay, so a loss is a bug, not a hardware
+limitation -- (d) the pool actually engaged on enough cores but beat
+serial by less than ``--min-engaged-pool-speedup`` (default 2.0), (e)
+the sharded fixpoint is less than ``--min-sharded-speedup`` (default
+1.5) times faster than the sequential engine -- gated only on >= 4
+cores with the GIL disabled, since worker threads over pure-Python
+evaluations cannot overlap under a GIL; skipped with a notice
+otherwise (the fixed-point *equality* is asserted unconditionally) --
+or (f) warm-starting the one-edit chain workload is less than
+``--min-warm-speedup`` (default 5.0) times faster than re-analysing it
+cold.
 """
 
 from __future__ import annotations
@@ -200,6 +212,18 @@ WARM_CHAIN_LENGTH = 400
 #: Worker count for the pool-speedup row (and its gate).
 POOL_WORKERS = 4
 
+#: Shard count for the parallel-fixpoint row (and its gate).
+SHARDS = 4
+
+#: Identical serial/adaptive-inline runs land on either side of exactly
+#: 1.0x by scheduler noise; the never-lose pool gate subtracts this.
+_POOL_JITTER_TOLERANCE = 0.05
+
+
+def _gil_enabled() -> bool:
+    """Whether this interpreter serializes threads (no free-threading)."""
+    return getattr(sys, "_is_gil_enabled", lambda: True)()
+
 
 def _pool_jobs() -> list:
     """The corpus sweep behind the pool-speedup row.
@@ -248,6 +272,48 @@ def _pool_jobs() -> list:
     return jobs
 
 
+def run_parallel_fixpoint_row() -> dict:
+    """Sequential vs sharded worklist on one substantial workload.
+
+    Both cells run the fused depgraph/versioned configuration; the
+    sharded cell adds ``parallelism="sharded"`` with :data:`SHARDS`
+    worker threads.  The fixed points are asserted bit-identical every
+    time -- the speedup is hardware-dependent (and gated only on >= 4
+    GIL-free cores; see :func:`check`), the equality never is.
+    """
+    program = LAM_PROGRAMS["church-two-two"]
+    sequential = preset_config("1cfa-fused", "lam")
+    sharded = preset_config("1cfa-sharded", "lam").replace(shards=SHARDS).validated()
+
+    seq_seconds = shard_seconds = None
+    shard_stats: dict = {}
+    for _ in range(3):  # best-of-3: both cells are well under a second
+        analysis = assemble(sequential, program=program)
+        start = time.perf_counter()
+        seq_result = analysis.run(program)
+        elapsed = time.perf_counter() - start
+        seq_seconds = elapsed if seq_seconds is None else min(seq_seconds, elapsed)
+
+        analysis = assemble(sharded, program=program)
+        start = time.perf_counter()
+        shard_result = analysis.run(program)
+        elapsed = time.perf_counter() - start
+        if shard_seconds is None or elapsed < shard_seconds:
+            shard_seconds, shard_stats = elapsed, dict(analysis.last_stats)
+        assert shard_result.fp == seq_result.fp, "sharded/sequential fp mismatch"
+    return {
+        "workload": "lam-church-two-two-k1",
+        "shards": SHARDS,
+        "cpu_count": os.cpu_count(),
+        "gil_enabled": _gil_enabled(),
+        "sequential_seconds": round(seq_seconds, 6),
+        "sharded_seconds": round(shard_seconds, 6),
+        "speedup": round(seq_seconds / shard_seconds, 2),
+        "rounds": shard_stats.get("rounds"),
+        "peak_frontier": shard_stats.get("peak_frontier"),
+    }
+
+
 def run_service_suite() -> dict:
     """Time the service layer: pool sharding, cache hits, warm starts."""
     import tempfile
@@ -270,6 +336,8 @@ def run_service_suite() -> dict:
     service["batch-pool"] = {
         "jobs": len(jobs),
         "workers": POOL_WORKERS,
+        "pool_workers": pooled.pool_workers,
+        "inline_fallbacks": pooled.inline_fallbacks,
         "cpu_count": os.cpu_count(),
         "serial_seconds": round(serial_seconds, 6),
         "pool_seconds": round(pool_seconds, 6),
@@ -277,8 +345,17 @@ def run_service_suite() -> dict:
     }
     print(
         f"{'service-batch-pool':28s} serial {serial_seconds:7.3f}s  "
-        f"pool({POOL_WORKERS}) {pool_seconds:7.3f}s  "
+        f"pool({POOL_WORKERS}->{pooled.pool_workers}) {pool_seconds:7.3f}s  "
         f"{service['batch-pool']['speedup']:.2f}x",
+        file=sys.stderr,
+    )
+
+    service["parallel-fixpoint"] = run_parallel_fixpoint_row()
+    row = service["parallel-fixpoint"]
+    print(
+        f"{'service-parallel-fixpoint':28s} seq    {row['sequential_seconds']:7.3f}s  "
+        f"sharded({row['shards']}) {row['sharded_seconds']:7.3f}s  "
+        f"{row['speedup']:.2f}x (gil={'on' if row['gil_enabled'] else 'off'})",
         file=sys.stderr,
     )
 
@@ -348,7 +425,7 @@ def run_service_suite() -> dict:
 
 def run_suite() -> dict:
     record: dict = {
-        "schema": "engine-suite/3",
+        "schema": "engine-suite/4",
         "python": sys.version.split()[0],
         "workloads": {},
         "speedups": {},
@@ -393,8 +470,10 @@ def check(
     record: dict,
     min_speedup: float,
     min_fused_speedup: float,
-    min_pool_speedup: float = 2.0,
+    min_pool_speedup: float = 1.0,
     min_warm_speedup: float = 5.0,
+    min_engaged_pool_speedup: float = 2.0,
+    min_sharded_speedup: float = 1.5,
 ) -> list[str]:
     """The CI gates.
 
@@ -403,9 +482,21 @@ def check(
       regression in the worklist GC path fails the build too);
     * the fused transition must beat the generic one by
       ``min_fused_speedup`` on the :data:`FUSED_GATED` workloads;
-    * the :data:`POOL_WORKERS`-worker batch pool must beat the serial
-      sweep by ``min_pool_speedup`` -- skipped (with a notice) when the
-      machine has fewer cores than workers, where no pool can win;
+    * the adaptive batch pool must never lose to the serial sweep:
+      ``min_pool_speedup`` (minus :data:`_POOL_JITTER_TOLERANCE`) at
+      *any* core count -- below the inline threshold, or on too few
+      cores, the adaptive runner degrades to the serial path, so the
+      two runs are the same work and a real loss is a bug;
+    * when the pool actually *engaged* (``pool_workers >= 2``) on a
+      machine with at least :data:`POOL_WORKERS` cores, it must beat
+      serial by ``min_engaged_pool_speedup``; skipped with a notice
+      otherwise;
+    * the sharded fixpoint must beat the sequential engine by
+      ``min_sharded_speedup`` -- gated only on >= 4 cores with the GIL
+      disabled (worker threads over pure-Python evaluations cannot
+      overlap under a GIL); skipped with a notice otherwise.  The
+      fixed-point equality was already asserted when the row was
+      recorded, on every machine;
     * the one-edit warm start must beat the cold re-analysis by
       ``min_warm_speedup``.
     """
@@ -431,15 +522,42 @@ def check(
     pool = service.get("batch-pool")
     if pool is not None:
         cores = pool.get("cpu_count") or 0
-        if cores < pool["workers"]:
+        if pool["speedup"] < min_pool_speedup - _POOL_JITTER_TOLERANCE:
+            failures.append(
+                f"service-batch-pool: {pool['speedup']:.2f}x over serial on "
+                f"{cores} core(s) -- the adaptive pool must never lose "
+                f"(need >= {min_pool_speedup:.1f}x - {_POOL_JITTER_TOLERANCE} jitter)"
+            )
+        engaged = pool.get("pool_workers", 0) >= 2
+        if cores < pool["workers"] or not engaged:
             print(
-                f"pool gate skipped: {cores} core(s) < {pool['workers']} workers",
+                f"engaged-pool gate skipped: {cores} core(s), "
+                f"{pool.get('pool_workers', 0)} pool worker(s) engaged "
+                f"(need >= {pool['workers']} cores and an engaged pool)",
                 file=sys.stderr,
             )
-        elif pool["speedup"] < min_pool_speedup:
+        elif pool["speedup"] < min_engaged_pool_speedup:
             failures.append(
                 f"service-batch-pool: only {pool['speedup']:.2f}x over serial "
-                f"on {pool['workers']} workers (need >= {min_pool_speedup:.1f}x)"
+                f"with {pool['pool_workers']} engaged workers "
+                f"(need >= {min_engaged_pool_speedup:.1f}x)"
+            )
+    sharded = service.get("parallel-fixpoint")
+    if sharded is not None:
+        cores = sharded.get("cpu_count") or 0
+        if cores < 4 or sharded.get("gil_enabled", True):
+            print(
+                f"sharded gate skipped: {cores} core(s), "
+                f"gil={'on' if sharded.get('gil_enabled', True) else 'off'} "
+                "(need >= 4 cores and a GIL-free interpreter; equality was "
+                "still asserted)",
+                file=sys.stderr,
+            )
+        elif sharded["speedup"] < min_sharded_speedup:
+            failures.append(
+                f"service-parallel-fixpoint: only {sharded['speedup']:.2f}x over "
+                f"sequential with {sharded['shards']} shards "
+                f"(need >= {min_sharded_speedup:.1f}x)"
             )
     warm = service.get("warm-chain")
     if warm is not None and warm["speedup"] < min_warm_speedup:
@@ -503,12 +621,16 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="exit non-zero if depgraph/versioned regresses below --min-speedup "
         "over kleene, fused below --min-fused-speedup over generic, the batch "
-        "pool below --min-pool-speedup over serial, or the warm start below "
-        "--min-warm-speedup over cold",
+        "pool below --min-pool-speedup over serial at any core count (or below "
+        "--min-engaged-pool-speedup when it engaged on enough cores), the "
+        "sharded fixpoint below --min-sharded-speedup on >= 4 GIL-free cores, "
+        "or the warm start below --min-warm-speedup over cold",
     )
     parser.add_argument("--min-speedup", type=float, default=2.0)
     parser.add_argument("--min-fused-speedup", type=float, default=2.0)
-    parser.add_argument("--min-pool-speedup", type=float, default=2.0)
+    parser.add_argument("--min-pool-speedup", type=float, default=1.0)
+    parser.add_argument("--min-engaged-pool-speedup", type=float, default=2.0)
+    parser.add_argument("--min-sharded-speedup", type=float, default=1.5)
     parser.add_argument("--min-warm-speedup", type=float, default=5.0)
     args = parser.parse_args(argv)
 
@@ -529,6 +651,8 @@ def main(argv: list[str] | None = None) -> int:
             args.min_fused_speedup,
             args.min_pool_speedup,
             args.min_warm_speedup,
+            min_engaged_pool_speedup=args.min_engaged_pool_speedup,
+            min_sharded_speedup=args.min_sharded_speedup,
         )
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)

@@ -143,6 +143,8 @@ class CESKAnalysis:
     label: str = ""
     engine: str | None = None
     transition: str = "generic"
+    parallelism: str = "none"
+    shards: int = 1
     last_stats: dict = field(default_factory=dict)
 
     def step(self) -> Callable[[PState], Any]:
@@ -293,6 +295,8 @@ def assemble_cesk(
         label=config.label,
         engine=config.engine,
         transition=config.transition,
+        parallelism=config.parallelism,
+        shards=config.shards,
     )
 
 

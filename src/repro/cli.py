@@ -47,6 +47,12 @@ The fine-grained flags remain, one per degree of freedom:
   runs the monadic normal form through the ``StorePassing`` stack,
   ``fused`` runs the staged first-order step compiled from it
   (identical fixed points; see PERFORMANCE.md, "The fused transition").
+* ``--parallelism`` / ``--shards`` -- how the fixed-point worklist is
+  evaluated: ``none`` is the sequential loop, ``sharded`` evaluates
+  each round's pending configurations on ``--shards`` worker threads
+  against private write overlays, barrier-merged through the versioned
+  store (identical fixed points; needs ``--engine depgraph
+  --store-impl versioned``; see PERFORMANCE.md, "Parallel fixpoints").
 
 Every combination is validated by
 :meth:`repro.config.AnalysisConfig.validated` before anything runs;
@@ -160,6 +166,8 @@ def _resolve_config(args: argparse.Namespace, lang: str):
                 engine=args.engine,
                 store_impl=args.store_impl,
                 transition=args.transition,
+                parallelism=args.parallelism,
+                shards=args.shards,
             )
         )
         if args.k is not None:
@@ -182,6 +190,8 @@ def _resolve_config(args: argparse.Namespace, lang: str):
         gc=args.gc,
         counting=args.counting,
         transition=args.transition or "generic",
+        parallelism=args.parallelism or "none",
+        shards=1 if args.shards is None else args.shards,
         label=args.preset or "",
     )
     return _assemble(config.validated)
@@ -425,6 +435,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="how the transition executes: the generic monadic normal "
         "form, or the staged (fused) first-order step -- identical fixed "
         "points, no per-bind monad dispatch (see PERFORMANCE.md)",
+    )
+    an_p.add_argument(
+        "--parallelism",
+        choices=("none", "sharded"),
+        default=None,
+        help="worklist evaluation mode: the sequential loop, or rounds "
+        "sharded across --shards worker threads with private write "
+        "overlays barrier-merged through the versioned store -- identical "
+        "fixed points (needs --engine depgraph --store-impl versioned)",
+    )
+    an_p.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="worker count for --parallelism sharded",
     )
     an_p.add_argument("--shared", action="store_true", help="single-threaded store")
     an_p.add_argument("--gc", action="store_true", help="abstract garbage collection")

@@ -81,6 +81,14 @@ WIDENINGS = ("none", "store")
 #: no per-bind monad dispatch on the hot path).
 TRANSITIONS = ("generic", "fused")
 
+#: How the fixed-point worklist is evaluated: ``none`` is the sequential
+#: loop; ``sharded`` partitions each round's pending configurations into
+#: ``shards`` disjoint slices evaluated concurrently against private
+#: write overlays and barrier-merged through the versioned store's
+#: grow-only ``bind`` (:mod:`repro.parallel` -- identical fixed points,
+#: chaotic iteration of a monotone functional is order-insensitive).
+PARALLELISMS = ("none", "sharded")
+
 
 @dataclass(frozen=True)
 class AnalysisConfig:
@@ -102,6 +110,8 @@ class AnalysisConfig:
     gc: bool = False
     counting: bool = False
     transition: str = "generic"
+    parallelism: str = "none"
+    shards: int = 1
     label: str = ""
 
     @property
@@ -168,6 +178,32 @@ class AnalysisConfig:
                 "concrete addressing is the per-state reference semantics; "
                 "it takes neither an engine nor the store widening"
             )
+        if config.parallelism not in PARALLELISMS:
+            raise ValueError(
+                f"unknown parallelism {config.parallelism!r}; "
+                f"choose one of {PARALLELISMS}"
+            )
+        if config.shards < 1:
+            raise ValueError("shards must be at least 1")
+        if config.parallelism == "none" and config.shards != 1:
+            raise ValueError(
+                "shards only parameterizes the sharded worklist; "
+                "pass parallelism='sharded' with shards > 1"
+            )
+        if config.parallelism == "sharded":
+            if config.engine != "depgraph" or config.store_impl != "versioned":
+                raise ValueError(
+                    "the sharded worklist merges private write overlays "
+                    "through the versioned store's changelog and retriggers "
+                    "through the dependency map; it needs engine='depgraph' "
+                    "with store_impl='versioned'"
+                )
+            if config.gc or config.counting:
+                raise ValueError(
+                    "the sharded worklist does not compose with abstract GC "
+                    "or counting: the per-evaluation sweep and the "
+                    "count-saturation pass are sequential engine effects"
+                )
         return config
 
     def cache_key(self) -> str:
@@ -176,9 +212,14 @@ class AnalysisConfig:
         Every semantics-bearing field appears as ``name=value`` in sorted
         field order; ``label`` is excluded -- it is presentation only, and
         a preset must share cache entries with the identical hand-built
-        configuration.  The fixpoint cache (:mod:`repro.service.cache`)
-        keys entries by this string joined with the program's structural
-        digest, so the key must change exactly when the fixed point may.
+        configuration.  ``parallelism``/``shards`` are excluded for the
+        same reason: the sharded worklist computes the bit-identical
+        fixed point (pinned corpus-wide by ``tests/test_parallel.py``),
+        so a sharded run must share cache entries with the sequential
+        configuration it equals.  The fixpoint cache
+        (:mod:`repro.service.cache`) keys entries by this string joined
+        with the program's structural digest, so the key must change
+        exactly when the fixed point may.
         """
         fields = {
             "language": self.language,
@@ -205,6 +246,8 @@ class AnalysisConfig:
             parts.append("counting")
         if self.transition != "generic":
             parts.append(self.transition)
+        if self.parallelism != "none":
+            parts.append(f"{self.parallelism}({self.shards})")
         return " ".join(parts)
 
 
@@ -266,6 +309,16 @@ PRESETS: dict[str, Preset] = {
             engine="depgraph",
             store_impl="versioned",
             transition="fused",
+        ),
+        _preset(
+            "1cfa-sharded",
+            "1-CFA with the round-sharded parallel worklist (4 shards)",
+            k=1,
+            engine="depgraph",
+            store_impl="versioned",
+            transition="fused",
+            parallelism="sharded",
+            shards=4,
         ),
         _preset(
             "1cfa-gc",
@@ -395,6 +448,8 @@ def build_config(
     engine: str | None = None,
     store_impl: str | None = None,
     transition: str | None = None,
+    parallelism: str | None = None,
+    shards: int | None = None,
     label: str = "",
 ) -> AnalysisConfig:
     """The keyword-argument surface of the ``analyse*`` families, as a config.
@@ -427,6 +482,10 @@ def build_config(
             config = config.replace(store_impl=store_impl)
         if transition is not None:
             config = config.replace(transition=transition)
+        if parallelism is not None:
+            config = config.replace(parallelism=parallelism)
+        if shards is not None:
+            config = config.replace(shards=shards)
         if label:
             config = config.replace(label=label)
         return config.validated()
@@ -443,6 +502,8 @@ def build_config(
         gc=bool(gc),
         counting=isinstance(store_like, ACounter),
         transition=transition or "generic",
+        parallelism=parallelism or "none",
+        shards=1 if shards is None else shards,
         label=label,
     ).validated()
 

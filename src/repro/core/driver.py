@@ -129,7 +129,10 @@ def run_engine_analysis(
     is refreshed with the run's evaluation counts.  ``warm_start`` and
     ``capture`` pass straight through to
     :func:`~repro.core.fixpoint.global_store_explore` (incremental
-    re-analysis; see :mod:`repro.service.incremental`).
+    re-analysis; see :mod:`repro.service.incremental`).  Analyses
+    assembled with ``parallelism="sharded"`` route the versioned
+    depgraph path through :mod:`repro.parallel` instead of the
+    sequential loop (identical fixed point).
     """
     analysis.last_stats = {}
     return run_with_engine(
@@ -141,6 +144,8 @@ def run_engine_analysis(
         stats=analysis.last_stats,
         warm_start=warm_start,
         capture=capture,
+        parallelism=getattr(analysis, "parallelism", "none"),
+        shards=getattr(analysis, "shards", 1),
     )
 
 
@@ -153,6 +158,8 @@ def run_with_engine(
     stats: dict | None = None,
     warm_start: Any = None,
     capture: Any = None,
+    parallelism: str = "none",
+    shards: int = 1,
 ) -> tuple:
     """Compute the store-widened collecting semantics under a named engine.
 
@@ -179,6 +186,11 @@ def run_with_engine(
                 "the kleene engine re-applies the functional to whole-domain "
                 "snapshots; warm starts and evaluation capture need the "
                 "per-configuration worklist engines"
+            )
+        if parallelism != "none":
+            raise ValueError(
+                "the sharded worklist partitions a pending-configuration "
+                "frontier; the kleene engine has none"
             )
         evaluations = 0
 
@@ -211,6 +223,8 @@ def run_with_engine(
         stats=stats,
         warm_start=warm_start,
         capture=capture,
+        parallelism=parallelism,
+        shards=shards,
     )
 
 

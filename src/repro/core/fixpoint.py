@@ -397,6 +397,8 @@ def global_store_explore(
     stats: dict | None = None,
     warm_start: WarmStart | None = None,
     capture: FixpointCapture | None = None,
+    parallelism: str = "none",
+    shards: int = 1,
 ) -> tuple:
     """Worklist evaluation of the store-widened domain ``P(configs) x Store``.
 
@@ -481,6 +483,40 @@ def global_store_explore(
                 "per-evaluation sweep and the count saturation are effects "
                 "an evaluation record cannot replay"
             )
+    if parallelism == "sharded":
+        if not isinstance(base_store, VersionedStore) or counting:
+            raise TypeError(
+                "the sharded worklist merges private write overlays through "
+                "the versioned store's changelog; it needs a VersionedStore "
+                "(no counting)"
+            )
+        if not track_deps or recorder is None:
+            raise TypeError(
+                "the sharded worklist retriggers cross-shard readers through "
+                "the dependency map; it needs the dependency-tracked engine"
+            )
+        if gc_on:
+            raise TypeError(
+                "the sharded worklist does not compose with abstract GC: the "
+                "per-evaluation reachability sweep is a sequential engine effect"
+            )
+        if warm_start is not None or capture is not None:
+            raise TypeError(
+                "the sharded worklist does not compose with warm starts or "
+                "evaluation capture: overlay write sets omit no-growth binds, "
+                "so replayed records would under-approximate live writes"
+            )
+        from repro.parallel.worklist import sharded_explore
+
+        return sharded_explore(
+            collecting,
+            step,
+            initial_state,
+            base_store,
+            shards=shards,
+            max_evals=max_evals,
+            stats=stats,
+        )
     if isinstance(base_store, (VersionedStore, VersionedCountingStore)):
         return _versioned_explore(
             collecting,

@@ -615,6 +615,38 @@ class GCOverlay:
         return f"GCOverlay({len(self._writes)} writes over {self.base!r})"
 
 
+class ShardOverlay(GCOverlay):
+    """A :class:`GCOverlay` that also records the addresses it reads.
+
+    The sharded worklist (:mod:`repro.parallel`) evaluates each pending
+    configuration against one of these: writes stay private until the
+    round barrier (so concurrent shards never observe each other's
+    in-flight bindings), and the read set feeds the dependency map that
+    decides which configurations a cross-shard write retriggers.  Reads
+    are captured at :meth:`get` because ``VersionedStore.fetch`` routes
+    its lookup through the element's ``get`` while ``bind`` reads via
+    ``data.get`` directly -- so, exactly like the sequential engine's
+    ``RecordingStore``, a fetch is a dependency and a bind's internal
+    join read is not.
+    """
+
+    __slots__ = ("reads",)
+
+    def __init__(self, base: MutableStore):
+        super().__init__(base)
+        self.reads: set = set()
+
+    def get(self, addr: Hashable, default: Any = None) -> Any:
+        self.reads.add(addr)
+        return self.data.get(addr, default)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardOverlay({len(self._writes)} writes, "
+            f"{len(self.reads)} reads over {self.base!r})"
+        )
+
+
 class VersionedCountingStore(StoreLike, ACounter):
     """``CountingStore`` semantics over an engine-owned :class:`MutableStore`.
 

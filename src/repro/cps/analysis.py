@@ -133,6 +133,8 @@ class CPSAnalysis:
     label: str = ""
     engine: str | None = None
     transition: str = "generic"
+    parallelism: str = "none"
+    shards: int = 1
     last_stats: dict = field(default_factory=dict)
 
     def step(self) -> Callable[[PState], Any]:
@@ -308,6 +310,8 @@ def assemble_cps(
         label=config.label,
         engine=config.engine,
         transition=config.transition,
+        parallelism=config.parallelism,
+        shards=config.shards,
     )
 
 

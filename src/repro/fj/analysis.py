@@ -166,6 +166,8 @@ class FJAnalysis:
     label: str = ""
     engine: str | None = None
     transition: str = "generic"
+    parallelism: str = "none"
+    shards: int = 1
     last_stats: dict = field(default_factory=dict)
 
     def step(self) -> Callable[[PState], Any]:
@@ -313,6 +315,8 @@ def assemble_fj_from_config(
         label=config.label,
         engine=config.engine,
         transition=config.transition,
+        parallelism=config.parallelism,
+        shards=config.shards,
     )
 
 

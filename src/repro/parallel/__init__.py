@@ -1,0 +1,18 @@
+"""The sharded parallel worklist over the versioned store.
+
+One execution mode, selected by ``AnalysisConfig(parallelism="sharded",
+shards=N)``: each round of the dependency-tracked worklist partitions
+the pending configurations into disjoint slices, evaluates them
+concurrently against private :class:`~repro.core.store.ShardOverlay`
+write overlays, and barrier-merges the overlays through the versioned
+store's grow-only ``bind`` -- the changelog then drives cross-shard
+retriggering through the dependency map, exactly as in the sequential
+O(delta) engine.  The fixed point is bit-identical to the sequential
+engine's: chaotic iteration of a monotone functional is
+order-insensitive, and every join in the domain (frozensets of
+configurations, per-address value sets) is commutative and associative.
+"""
+
+from repro.parallel.worklist import sharded_explore
+
+__all__ = ["sharded_explore"]

@@ -1,0 +1,193 @@
+"""Round-based sharded evaluation of the versioned global-store worklist.
+
+The sequential O(delta) engine (:func:`repro.core.fixpoint._versioned_explore`)
+pops one configuration at a time, runs it directly against the shared
+:class:`~repro.core.store.MutableStore`, and retriggers readers off the
+changelog.  :func:`sharded_explore` computes the *same* least fixed
+point in bulk-synchronous rounds:
+
+1. **Partition.** The pending configurations are snapshotted and split
+   round-robin into at most ``shards`` disjoint slices.
+2. **Evaluate.** Each slice runs on a worker thread.  Every
+   configuration is evaluated against a fresh
+   :class:`~repro.core.store.ShardOverlay` over the round-frozen global
+   store, so concurrent shards never observe each other's in-flight
+   writes: reads land in the overlay's read set (the dependency edges),
+   writes land in its private map.
+3. **Merge.** At the round barrier the engine walks the slice results
+   in deterministic (shard, position) order and merges every private
+   write into the global store through ``merge_entry`` -- the same
+   grow-only ``bind`` the sequential engine uses, so the changelog
+   records exactly the addresses whose value sets grew this round.
+4. **Retrigger.** Dependency edges recorded *this* round are added to
+   the map first, then every reader of a grown address is re-enqueued
+   (unless it is already queued for the next round).
+
+Why the result is bit-identical to the sequential engine: the fixed
+point is the least solution of a monotone system over
+``P(configs) x Store``, and chaotic iteration converges to that least
+solution regardless of evaluation order; both components are built from
+commutative, associative joins (frozenset union, per-address value-set
+union), so neither the partition, the thread schedule, nor the merge
+order can steer the result.  A shard evaluating against a round-stale
+store at worst *under*-produces successors and writes it would have
+produced later anyway -- the retrigger pass re-runs it once the missing
+addresses grow.  Only the trajectory statistics (rounds, retriggers,
+peak frontier) are schedule-dependent.
+
+Thread-safety relies on three properties of the surrounding machinery:
+
+* the engine's :class:`~repro.core.store.RecordingStore` wrapper is a
+  pure delegator while not logging (sharded evaluation never opens the
+  log -- the overlay's read set replaces it);
+* the shared ``MutableStore`` is only *read* between barriers; all
+  mutation happens in the merge phase, on the coordinating thread;
+* hash-consing races (two threads interning structurally-equal terms)
+  are correctness-safe: ``@hash_consed`` equality falls back to
+  structural comparison when identities differ.
+
+What the mode refuses, and why (enforced in
+:func:`repro.core.fixpoint.global_store_explore` and mirrored in
+:meth:`repro.config.AnalysisConfig.validated`):
+
+* **abstract GC / counting** -- the per-evaluation reachability sweep
+  and the count-saturation pass are sequential engine effects woven
+  around each evaluation;
+* **warm starts / capture** -- an :class:`~repro.core.fixpoint.EvalRecord`'s
+  write set must include no-growth binds (the sequential recorder logs
+  them; ``warm-restrict`` keeps a seeded cell alive iff some surviving
+  configuration wrote it), but a bind that adds no new values
+  early-returns before touching the overlay's private map, so the
+  sharded write sets would under-approximate and warm restriction
+  would drop live cells.
+
+Under a GIL-enabled interpreter the threads serialize on pure-Python
+work and sharding is pure overhead; see PERFORMANCE.md ("Parallel
+fixpoints") for the cost model and when to expect wins.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable
+
+from repro.core.store import ShardOverlay
+
+
+def sharded_explore(
+    collecting: Any,
+    step: Callable[[Any], Any],
+    initial_state: Any,
+    base_store: Any,
+    *,
+    shards: int,
+    max_evals: int = 1_000_000,
+    stats: dict | None = None,
+) -> tuple:
+    """Compute ``global_store_explore``'s fixed point in sharded rounds.
+
+    ``collecting`` must be a shared-store domain whose ``inner`` store
+    is the versioned ``base_store`` (the caller --
+    :func:`repro.core.fixpoint.global_store_explore` -- has already
+    validated the configuration: versioned store, dependency tracking,
+    no GC, no counting, no warm start or capture).  Returns the fixed
+    point in the shared-domain shape ``(frozenset(configs), store)``,
+    bit-identical to the sequential engine's.
+
+    ``stats``, when supplied, gains the sequential keys plus
+    ``rounds``, ``shards`` and ``peak_frontier``; ``evaluations`` and
+    ``retriggers`` count the sharded trajectory, which may differ from
+    the sequential one (the fixed point does not).
+    """
+    inner = collecting.inner
+    seed_configs, seed_store = collecting.inject(initial_state)
+    mstore = base_store.thaw(seed_store)
+
+    seen: set = set(seed_configs)
+    pending: deque = deque(seen)
+    deps: dict = {}
+    evals = 0
+    retriggers = 0
+    rounds = 0
+    peak_frontier = 0
+
+    def evaluate(slice_: list) -> list:
+        # one worker, one slice: fresh overlay per configuration so the
+        # read set is exactly this evaluation's dependencies and the
+        # write map is exactly its store growth
+        out = []
+        for config in slice_:
+            overlay = ShardOverlay(mstore)
+            pairs = inner.run_config_pairs(step, (config, overlay), instrument=False)
+            out.append((config, overlay.reads, overlay.written(), pairs))
+        return out
+
+    pool = ThreadPoolExecutor(max_workers=shards) if shards > 1 else None
+    try:
+        while pending:
+            rounds += 1
+            batch = list(pending)
+            pending.clear()
+            peak_frontier = max(peak_frontier, len(batch))
+            evals += len(batch)
+            if evals > max_evals:
+                raise _diverged(max_evals)
+
+            slices = [s for s in (batch[i::shards] for i in range(shards)) if s]
+            if pool is not None and len(slices) > 1:
+                results = list(pool.map(evaluate, slices))
+            else:
+                results = [evaluate(s) for s in slices]
+
+            # barrier: merge in deterministic (shard, position) order --
+            # not that order matters for the fixed point, but it keeps
+            # the changelog (and hence the stats trajectory) reproducible
+            mark = mstore.mark()
+            queued: set = set()
+            for slice_results in results:
+                for config, reads, written, pairs in slice_results:
+                    for addr in reads:
+                        deps.setdefault(addr, set()).add(config)
+                    for addr, entry in written.items():
+                        base_store.merge_entry(mstore, addr, entry)
+                    for pair in pairs:
+                        if pair not in seen:
+                            seen.add(pair)
+                            queued.add(pair)
+                            pending.append(pair)
+
+            for addr in set(mstore.changed_since(mark)):
+                for reader in deps.get(addr, ()):
+                    if reader not in queued:
+                        queued.add(reader)
+                        pending.append(reader)
+                        retriggers += 1
+    finally:
+        if pool is not None:
+            pool.shutdown()
+
+    frozen = base_store.freeze(mstore)
+    if stats is not None:
+        stats.update(
+            evaluations=evals,
+            retriggers=retriggers,
+            configurations=len(seen),
+            tracked_addresses=len(deps),
+            reused=0,
+            rounds=rounds,
+            shards=shards,
+            peak_frontier=peak_frontier,
+        )
+    return (frozenset(seen), frozen)
+
+
+def _diverged(max_evals: int) -> Exception:
+    # imported lazily: repro.core.fixpoint imports this module lazily in
+    # the other direction, and the exception type must be the one
+    # callers of the sequential engine already catch
+    from repro.core.fixpoint import FixpointDiverged
+
+    return FixpointDiverged(
+        f"no fixed point within {max_evals} configuration evaluations"
+    )

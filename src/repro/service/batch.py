@@ -22,6 +22,26 @@ about process boundaries:
   evaluation records, where the configuration supports them) are written
   back by the parent -- workers never touch the cache directory, so no
   cross-process index locking exists to get wrong.
+* **Adaptive.**  The pool only engages when it can pay for itself: the
+  first unique miss runs inline as a *probe*, and the measured job cost
+  times the remaining job count must clear :data:`_MIN_POOL_SECONDS`
+  before any worker process starts (spawn costs a few hundred
+  milliseconds per worker -- a batch of microsecond analyses must never
+  buy that).  Pool width is clamped to ``os.cpu_count()``, so on a
+  single-core box the runner degrades to the inline path and the batch
+  can never run slower than serial.
+* **Cheap transport.**  Workers pre-pickle their results into the exact
+  byte shapes the cache stores on disk (zlib-compressed for the pipe),
+  so the parent writes the bytes straight through
+  (:meth:`~repro.service.cache.FixpointCache.put_payload`) and unpickles
+  only the fixed point for the report -- the warm-start records, which
+  usually outweigh it, cross the parent without ever being rebuilt.
+* **Fault-isolated.**  Work is dispatched in round-robin chunks of
+  ``(index, job)`` pairs; a worker that dies (or a result that cannot be
+  unpickled) costs only its chunk, whose jobs are re-run inline and
+  counted in :attr:`BatchReport.inline_fallbacks` instead of failing the
+  whole batch.  Deterministic analysis errors still surface: the inline
+  re-run raises them in the parent.
 
 The result is a :class:`BatchReport` whose :meth:`BatchReport.render`
 is deterministic JSON (:func:`repro.analysis.report.render_json`):
@@ -34,16 +54,31 @@ from __future__ import annotations
 import dataclasses
 import multiprocessing
 import os
+import pickle
 import time
+import zlib
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
 from repro.analysis.report import render_json, result_summary
 from repro.config import AnalysisConfig, assemble
 from repro.core.fixpoint import FixpointCapture
-from repro.service.cache import FixpointCache, cache_key, ensure_deep_pickle
+from repro.service.cache import (
+    PAYLOAD_SCHEMA,
+    FixpointCache,
+    cache_key,
+    ensure_deep_pickle,
+)
 from repro.service.incremental import warmable, wrap_fixpoint
 from repro.util.intern import rehydrate
+
+#: The pool engages only when the probe-predicted serial cost of the
+#: remaining jobs clears this bar.  Spawning a worker costs a few
+#: hundred milliseconds (interpreter boot + imports); two seconds of
+#: predicted work is the point where a multi-worker pool reliably wins
+#: on the machines the benchmarks run on.
+_MIN_POOL_SECONDS = 2.0
 
 
 @dataclass(frozen=True)
@@ -122,6 +157,47 @@ def _run_job(job: BatchJob) -> dict:
     }
 
 
+def _pack_job(job: BatchJob) -> dict:
+    """Run one job and pre-pickle its results for the pipe (worker side).
+
+    ``object_blob``/``records_blob`` are zlib-compressed encodings of the
+    exact payloads :meth:`~repro.service.cache.FixpointCache.put` would
+    pickle to disk, so the parent can write them through
+    ``put_payload`` without rebuilding either -- the records, which
+    usually outweigh the fixed point, never get unpickled parent-side.
+    Compression level 1 because the pipe, not the CPU, is the bottleneck
+    here: interned term graphs pickle with enormous redundancy.
+    """
+    payload = _run_job(job)
+    object_blob = zlib.compress(
+        pickle.dumps(
+            {"schema": PAYLOAD_SCHEMA, "fp": payload["fp"]},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        ),
+        1,
+    )
+    records = payload["records"]
+    records_blob = None
+    if records:
+        sidecar = {"records": records, "program": resolve_program(job)}
+        records_blob = zlib.compress(
+            pickle.dumps(sidecar, protocol=pickle.HIGHEST_PROTOCOL), 1
+        )
+    return {
+        "object_blob": object_blob,
+        "records_blob": records_blob,
+        "seconds": payload["seconds"],
+        "stats": payload["stats"],
+        "pid": payload["pid"],
+    }
+
+
+def _run_chunk(chunk: Sequence[tuple[int, BatchJob]]) -> list[tuple[int, dict]]:
+    """Execute one round-robin chunk of ``(index, job)`` pairs (worker side)."""
+    ensure_deep_pickle()
+    return [(index, _pack_job(job)) for index, job in chunk]
+
+
 @dataclass
 class JobOutcome:
     """One job's result: where it came from and what it cost."""
@@ -148,6 +224,8 @@ class BatchReport:
     workers: int
     total_seconds: float
     cache_stats: dict | None = None
+    pool_workers: int = 0
+    inline_fallbacks: int = 0
 
     def to_document(self, include_flows: bool = False) -> dict:
         """The report as deterministic-JSON-ready data."""
@@ -171,6 +249,8 @@ class BatchReport:
             "schema": "batch-report/1",
             "jobs": rows,
             "workers": self.workers,
+            "pool_workers": self.pool_workers,
+            "inline_fallbacks": self.inline_fallbacks,
             "total_seconds": round(self.total_seconds, 6),
             "cache": self.cache_stats,
         }
@@ -211,19 +291,30 @@ def run_batch(
     cache_dir: str | None = None,
     use_cache: bool = True,
     start_method: str = "spawn",
+    min_pool_seconds: float = _MIN_POOL_SECONDS,
 ) -> BatchReport:
-    """Run a batch of analysis jobs, cache-first, pool-sharded.
+    """Run a batch of analysis jobs, cache-first, adaptively pool-sharded.
 
-    ``workers > 1`` fans cache misses across a ``multiprocessing`` pool
-    (``start_method`` defaults to the spawn-safe strictest choice);
-    ``workers <= 1`` runs misses inline, which skips pickling entirely
-    (one process, one intern pool -- nothing to rehydrate).  ``cache``
-    or ``cache_dir`` attaches a fixpoint cache; ``use_cache=False``
-    keeps a configured cache cold (the CLI's ``--no-cache``).
+    ``workers > 1`` *permits* a worker pool; whether one starts is
+    decided adaptively (see the module docstring): pool width is clamped
+    to ``os.cpu_count()`` and the first unique miss runs inline as a
+    cost probe -- only when the probe predicts more than
+    ``min_pool_seconds`` of remaining serial work do worker processes
+    spawn (``start_method`` defaults to the spawn-safe strictest
+    choice).  ``workers <= 1`` always runs misses inline, which skips
+    pickling entirely (one process, one intern pool -- nothing to
+    rehydrate).  ``cache`` or ``cache_dir`` attaches a fixpoint cache;
+    ``use_cache=False`` keeps a configured cache cold (the CLI's
+    ``--no-cache``).
 
-    Every job's fixed point -- cache hit, pooled, or inline -- is
-    bit-identical to a cold single-process run of the same cell, which
-    ``tests/test_service.py`` pins across the whole preset matrix.
+    A worker that dies, or a result that cannot be unpickled, costs only
+    its chunk of jobs: those re-run inline and are counted in
+    :attr:`BatchReport.inline_fallbacks`.
+
+    Every job's fixed point -- cache hit, pooled, fallen-back, or
+    inline -- is bit-identical to a cold single-process run of the same
+    cell, which ``tests/test_service.py`` pins across the whole preset
+    matrix.
     """
     if cache is None and cache_dir is not None and use_cache:
         # --no-cache must neither create nor read the directory
@@ -266,6 +357,8 @@ def run_batch(
                 continue
         misses.append(index)
 
+    pool_workers = 0
+    inline_fallbacks = 0
     if misses:
         # dedupe within the batch: two cells with one content address are
         # one computation (the duplicates share the payload below)
@@ -273,22 +366,66 @@ def run_batch(
         for index in misses:
             leaders.setdefault(prepared[index][3], index)
         unique = sorted(leaders.values())
-        if workers > 1 and len(unique) > 1:
-            pool_size = min(workers, len(unique))
-            context = multiprocessing.get_context(start_method)
-            with context.Pool(pool_size) as pool:
-                computed = pool.map(
-                    _run_job, [jobs[index] for index in unique], chunksize=1
-                )
-            # canonicalize everything the pool sent back in one pass, so
-            # fixed points and records share representatives
-            computed = [
-                {**payload, **dict(zip(("fp", "records"), rehydrate((payload["fp"], payload["records"]))))}
-                for payload in computed
-            ]
-        else:
-            computed = [_run_job(jobs[index]) for index in unique]
-        by_key = {prepared[index][3]: payload for index, payload in zip(unique, computed)}
+        computed: dict[int, dict] = {}
+        pending = list(unique)
+
+        pool_cap = max(1, min(workers, os.cpu_count() or 1, len(unique) - 1))
+        if pool_cap > 1:
+            # probe: the first unique job runs inline and its measured
+            # cost decides whether the rest are worth a pool at all
+            probe_index = pending[0]
+            computed[probe_index] = _run_job(jobs[probe_index])
+            pending = pending[1:]
+            if computed[probe_index]["seconds"] * len(pending) >= min_pool_seconds:
+                pool_workers = min(pool_cap, len(pending))
+                chunks = [
+                    [(index, jobs[index]) for index in pending[offset::pool_workers]]
+                    for offset in range(pool_workers)
+                ]
+                context = multiprocessing.get_context(start_method)
+                with ProcessPoolExecutor(
+                    max_workers=pool_workers, mp_context=context
+                ) as pool:
+                    futures = {
+                        pool.submit(_run_chunk, chunk): chunk for chunk in chunks
+                    }
+                    for future in as_completed(futures):
+                        chunk = futures[future]
+                        try:
+                            packed = future.result()
+                        except Exception:
+                            # the worker died (or its result never made
+                            # it across the pipe): only this chunk's
+                            # jobs re-run, inline -- a deterministic
+                            # analysis error will re-raise here, in the
+                            # parent, where it is attributable
+                            for index, job in chunk:
+                                computed[index] = _run_job(job)
+                                inline_fallbacks += 1
+                            continue
+                        for index, payload in packed:
+                            try:
+                                raw = zlib.decompress(payload["object_blob"])
+                                fp = rehydrate(pickle.loads(raw)["fp"])
+                            except Exception:
+                                # damaged transport for one job: fall
+                                # back for that job alone
+                                computed[index] = _run_job(jobs[index])
+                                inline_fallbacks += 1
+                                continue
+                            computed[index] = {
+                                "fp": fp,
+                                "records": None,
+                                "object_blob": raw,
+                                "records_blob": payload["records_blob"],
+                                "seconds": payload["seconds"],
+                                "stats": payload["stats"],
+                                "pid": payload["pid"],
+                            }
+                pending = []
+        for index in pending:
+            computed[index] = _run_job(jobs[index])
+        by_key = {prepared[index][3]: computed[index] for index in unique}
 
         stored: set[str] = set()
         for index in misses:
@@ -305,17 +442,32 @@ def run_batch(
             )
             if cache is not None and use_cache and key not in stored:
                 stored.add(key)
-                cache.put(
-                    program,
-                    job.config,
-                    payload["fp"],
-                    records=payload["records"],
-                    seconds=payload["seconds"],
-                )
+                object_blob = payload.get("object_blob")
+                if object_blob is not None:
+                    # pooled result: the worker already pickled the
+                    # on-disk payload shapes; write the bytes through
+                    records_blob = payload.get("records_blob")
+                    cache.put_payload(
+                        program,
+                        job.config,
+                        object_blob,
+                        zlib.decompress(records_blob) if records_blob else None,
+                        seconds=payload["seconds"],
+                    )
+                else:
+                    cache.put(
+                        program,
+                        job.config,
+                        payload["fp"],
+                        records=payload["records"],
+                        seconds=payload["seconds"],
+                    )
 
     return BatchReport(
         outcomes=[outcome for outcome in outcomes if outcome is not None],
         workers=workers,
         total_seconds=time.perf_counter() - started,
         cache_stats=cache.stats() if cache is not None else None,
+        pool_workers=pool_workers,
+        inline_fallbacks=inline_fallbacks,
     )

@@ -377,6 +377,54 @@ class FixpointCache:
         self._write_index()
         return key
 
+    def put_payload(
+        self,
+        program: Any,
+        config: AnalysisConfig,
+        object_blob: bytes,
+        records_blob: bytes | None = None,
+        seconds: float | None = None,
+    ) -> str:
+        """Store pre-pickled payload bytes directly; return the entry's key.
+
+        The batch runner's transport optimisation: workers already
+        serialize their results to cross the process boundary, so they
+        pickle the exact on-disk shapes (``object_blob`` an encoding of
+        ``{"schema": PAYLOAD_SCHEMA, "fp": fp}``, ``records_blob`` of
+        the records sidecar) and the parent writes those bytes straight
+        through -- no parent-side unpickle/rehydrate/repickle of the
+        records, which usually outweigh the fixed point.  The disk
+        format is byte-compatible with :meth:`put`; ``get``/``get_key``
+        cannot tell the difference.
+        """
+        key = cache_key(program, config)
+        path = self._object_path(key)
+        records_path = self._records_path(key)
+        tmp = path.with_suffix(".pkl.tmp")
+        tmp.write_bytes(object_blob)
+        tmp.replace(path)
+        if records_blob is not None:
+            tmp = records_path.with_suffix(".pkl.tmp")
+            tmp.write_bytes(records_blob)
+            tmp.replace(records_path)
+        else:
+            records_path.unlink(missing_ok=True)
+        now = self._now()
+        self._index[key] = {
+            "program_digest": program_digest(program),
+            "config_key": config.cache_key(),
+            "created": now,
+            "last_used": now,
+            "hits": 0,
+            "size_bytes": path.stat().st_size,
+            "has_records": records_blob is not None,
+            "seconds": round(seconds, 6) if seconds is not None else None,
+        }
+        self.stores += 1
+        self._evict_over_budget()
+        self._write_index()
+        return key
+
     def latest_for(self, config: AnalysisConfig) -> CachedFixpoint | None:
         """The most recently used *warmable* entry for this configuration.
 

@@ -1,0 +1,512 @@
+"""The sharded parallel worklist: determinism, guards, adaptive batching.
+
+What this file pins, satellite by satellite:
+
+* **Corpus bit-identity** -- the sharded engine's fixed point equals the
+  sequential versioned engine's, program by program, across all three
+  languages (plus lowered ``imp``), and for every shard count.
+* **Merge determinism** -- on randomly generated monotone fake-domain
+  systems, permuted slice schedules and adversarially jittered thread
+  interleavings never change the fixed point (only the trajectory
+  statistics may move); explicitly permuted barrier merges land on the
+  same frozen store.
+* **Spawn safety** -- a sharded result pickles across a ``spawn``
+  process boundary and rehydrates onto the child's intern pool, exactly
+  like a sequential result (``spawn_helpers.probe_sharded_fixpoint``).
+* **Configuration guards** -- ``validated()`` and the engine entry
+  point refuse the combinations the sharded mode cannot honour
+  (non-depgraph engines, persistent stores, GC, counting, warm starts,
+  capture), and ``cache_key`` deliberately ignores the parallelism axis
+  (same fixed point, same content address).
+* **The adaptive batch pool** -- sub-threshold batches never spawn
+  workers; a dead worker or damaged transport falls back to inline
+  evaluation for its chunk only, counted in ``inline_fallbacks``, with
+  every fixed point still bit-identical.
+"""
+
+import concurrent.futures
+import pickle
+import random
+import threading
+import time
+
+import pytest
+
+import spawn_helpers
+from repro.config import PRESETS, assemble, preset_config
+from repro.core.fixpoint import FixpointCapture, FixpointDiverged, WarmStart
+from repro.core.store import MutableStore, ShardOverlay, VersionedStore
+from repro.corpus import corpus_program, corpus_programs
+from repro.parallel import sharded_explore
+from repro.service.incremental import warmable
+
+# ---------------------------------------------------------------------------
+# Corpus bit-identity
+# ---------------------------------------------------------------------------
+
+#: One substantial corpus program per language (imp arrives lowered).
+IDENTITY_PROGRAMS = (
+    ("cps", "mj09"),
+    ("lam", "church-two-two"),
+    ("lam", "imp:nested-loops"),
+    ("fj", "visitor"),
+)
+
+
+def _fixpoint(config, program):
+    analysis = assemble(config, program=program)
+    result = analysis.run(program, worklist=not config.shared)
+    return result.fp, dict(analysis.last_stats)
+
+
+class TestCorpusIdentity:
+    @pytest.mark.parametrize("lang,name", IDENTITY_PROGRAMS)
+    def test_sharded_matches_sequential(self, lang, name):
+        program = corpus_program(lang, name)
+        sequential, _ = _fixpoint(preset_config("1cfa-fused", lang), program)
+        sharded, stats = _fixpoint(preset_config("1cfa-sharded", lang), program)
+        assert sharded == sequential
+        assert stats["shards"] == 4 and stats["rounds"] >= 1
+        assert stats["peak_frontier"] >= 1
+
+    @pytest.mark.parametrize("shards", (1, 2, 3, 5))
+    def test_every_shard_count_is_identical(self, shards):
+        program = corpus_program("lam", "church-two-two")
+        sequential, _ = _fixpoint(preset_config("1cfa-fused", "lam"), program)
+        config = preset_config("1cfa-sharded", "lam").replace(shards=shards).validated()
+        sharded, stats = _fixpoint(config, program)
+        assert sharded == sequential
+        assert stats["shards"] == shards
+
+    def test_full_lam_corpus_generic_transition(self):
+        """The generic (monadic) transition shards identically too."""
+        sequential_config = preset_config("1cfa-sharded", "lam").replace(
+            transition="generic", parallelism="none", shards=1
+        ).validated()
+        sharded_config = preset_config("1cfa-sharded", "lam").replace(
+            transition="generic"
+        ).validated()
+        for name in sorted(corpus_programs("lam")):
+            program = corpus_program("lam", name)
+            sequential, _ = _fixpoint(sequential_config, program)
+            sharded, _ = _fixpoint(sharded_config, program)
+            assert sharded == sequential, name
+
+
+# ---------------------------------------------------------------------------
+# Merge determinism on a fake domain (adversarial interleavings)
+# ---------------------------------------------------------------------------
+
+
+class _FakeInner:
+    """The minimal per-state domain surface the sharded engine consumes."""
+
+    def __init__(self, store_like):
+        self.store_like = store_like
+
+    def run_config_pairs(self, step, config_pair, instrument=True):
+        config, store = config_pair
+        return step(config, store)
+
+
+class _FakeCollecting:
+    def __init__(self, inner, seeds):
+        self.inner = inner
+        self._seeds = frozenset(seeds)
+
+    def inject(self, _initial_state):
+        return self._seeds, {}
+
+
+def _random_system(seed, configs=12, addresses=8):
+    """A random monotone equation system over frozenset-valued addresses.
+
+    Each configuration reads a few addresses and writes the union of
+    what it read plus its own token -- monotone by construction, so the
+    least fixed point is unique and every chaotic iteration (sequential,
+    sharded, adversarially interleaved) must land on it exactly.
+    """
+    rng = random.Random(seed)
+    addrs = [f"a{i}" for i in range(addresses)]
+    table = {}
+    for c in range(configs):
+        reads = rng.sample(addrs, rng.randint(1, 3))
+        writes = rng.sample(addrs, rng.randint(1, 2))
+        successors = rng.sample(range(configs), rng.randint(0, 3))
+        table[c] = (tuple(reads), tuple(writes), tuple(successors))
+    return table
+
+
+def _system_step(base, table, jitter=0.0):
+    """The system as an engine step; ``jitter`` adds adversarial sleeps."""
+
+    def step(config, store):
+        reads, writes, successors = table[config]
+        gathered = frozenset({("token", config)})
+        for addr in reads:
+            gathered |= base.fetch(store, addr)
+        if jitter:
+            time.sleep(random.random() * jitter)
+        for addr in writes:
+            base.bind(store, addr, gathered)
+        return list(successors)
+
+    return step
+
+
+def _reference_fixpoint(table, seeds):
+    """An independent whole-system Kleene iteration (no engine code)."""
+    store = {}
+    seen = set(seeds)
+    while True:
+        changed = False
+        for config in sorted(seen):
+            reads, writes, successors = table[config]
+            gathered = frozenset({("token", config)})
+            for addr in reads:
+                gathered |= store.get(addr, frozenset())
+            for addr in writes:
+                joined = store.get(addr, frozenset()) | gathered
+                if joined != store.get(addr, frozenset()):
+                    store[addr] = joined
+                    changed = True
+            for successor in successors:
+                if successor not in seen:
+                    seen.add(successor)
+                    changed = True
+        if not changed:
+            return frozenset(seen), store
+
+
+class TestFakeDomainDeterminism:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("shards", (1, 2, 4))
+    def test_sharded_reaches_the_unique_lfp(self, seed, shards):
+        table = _random_system(seed)
+        base = VersionedStore()
+        collecting = _FakeCollecting(_FakeInner(base), seeds={0, 1})
+        configs, frozen = sharded_explore(
+            collecting, _system_step(base, table), None, base, shards=shards
+        )
+        ref_configs, ref_store = _reference_fixpoint(table, seeds={0, 1})
+        assert configs == ref_configs
+        assert dict(frozen) == ref_store
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_adversarial_interleavings_cannot_steer_the_result(self, seed):
+        """Random sleeps inside evaluations permute the thread schedule;
+        the barrier merge must make the schedule unobservable."""
+        table = _random_system(seed, configs=16, addresses=10)
+        ref_configs, ref_store = _reference_fixpoint(table, seeds={0})
+        for shards in (2, 3, 5):
+            base = VersionedStore()
+            collecting = _FakeCollecting(_FakeInner(base), seeds={0})
+            configs, frozen = sharded_explore(
+                collecting,
+                _system_step(base, table, jitter=0.002),
+                None,
+                base,
+                shards=shards,
+            )
+            assert configs == ref_configs, shards
+            assert dict(frozen) == ref_store, shards
+
+    def test_permuted_barrier_merges_freeze_identically(self):
+        """Merging the same private overlays in any order grows the same
+        store: the join is commutative and associative entry-wise."""
+        base = VersionedStore()
+        writes = [
+            {"a": frozenset({1}), "b": frozenset({2})},
+            {"b": frozenset({3}), "c": frozenset({4})},
+            {"a": frozenset({5}), "c": frozenset({4, 6})},
+            {"d": frozenset({7})},
+        ]
+        rng = random.Random(11)
+        frozen_images = set()
+        for _ in range(8):
+            order = list(range(len(writes)))
+            rng.shuffle(order)
+            mstore = MutableStore({"a": frozenset({0})})
+            for index in order:
+                for addr, entry in writes[index].items():
+                    base.merge_entry(mstore, addr, entry)
+            frozen_images.add(base.freeze(mstore))
+        assert len(frozen_images) == 1
+
+    def test_divergence_budget_still_applies(self):
+        table = {0: (("a",), ("a",), (0,))}
+
+        # an ever-growing write keeps retriggering config 0 forever
+        def step(config, store):
+            current = base.fetch(store, "a")
+            base.bind(store, "a", frozenset({len(current)}))
+            return [0]
+
+        base = VersionedStore()
+        collecting = _FakeCollecting(_FakeInner(base), seeds={0})
+        with pytest.raises(FixpointDiverged):
+            sharded_explore(collecting, step, None, base, shards=2, max_evals=50)
+
+
+class TestShardOverlay:
+    def test_reads_and_writes_stay_private_until_merge(self):
+        base = VersionedStore()
+        mstore = MutableStore({"a": frozenset({1})})
+        overlay = ShardOverlay(mstore)
+        assert base.fetch(overlay, "a") == frozenset({1})
+        assert base.fetch(overlay, "missing") == frozenset()
+        base.bind(overlay, "b", frozenset({2}))
+        assert overlay.reads == {"a", "missing"}
+        assert overlay.written() == {"b": frozenset({2})}
+        assert "b" not in mstore.data  # private until the barrier
+        # bind's internal join read must NOT register as a dependency
+        base.bind(overlay, "a", frozenset({1}))
+        assert overlay.reads == {"a", "missing"}
+
+    def test_concurrent_overlays_do_not_observe_each_other(self):
+        base = VersionedStore()
+        mstore = MutableStore()
+        first, second = ShardOverlay(mstore), ShardOverlay(mstore)
+        barrier = threading.Barrier(2)
+
+        def write(overlay, addr):
+            barrier.wait()
+            base.bind(overlay, addr, frozenset({addr}))
+            return base.fetch(overlay, "x") | base.fetch(overlay, "y")
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=2) as pool:
+            seen_x = pool.submit(write, first, "x")
+            seen_y = pool.submit(write, second, "y")
+            assert seen_x.result() == frozenset({"x"})
+            assert seen_y.result() == frozenset({"y"})
+        assert not mstore.data
+
+
+# ---------------------------------------------------------------------------
+# Spawn safety
+# ---------------------------------------------------------------------------
+
+
+class TestSpawnSafety:
+    def test_sharded_result_round_trips_through_spawn(self):
+        import multiprocessing
+
+        config = preset_config("1cfa-sharded", "lam")
+        program = corpus_program("lam", "church-two-two")
+        result = assemble(config, program=program).run(
+            program, worklist=not config.shared
+        )
+        context = multiprocessing.get_context("spawn")
+        with context.Pool(1) as pool:
+            outcome = pool.apply(
+                spawn_helpers.probe_sharded_fixpoint,
+                (pickle.dumps(result.fp), "church-two-two"),
+            )
+        assert outcome["equal"]
+        assert outcome["rehydrated_equal"]
+
+
+# ---------------------------------------------------------------------------
+# Configuration guards
+# ---------------------------------------------------------------------------
+
+
+class TestConfigGuards:
+    def test_unknown_parallelism_is_rejected(self):
+        config = preset_config("1cfa-fused", "lam").replace(parallelism="simd")
+        with pytest.raises(ValueError, match="unknown parallelism"):
+            config.validated()
+
+    def test_shards_must_be_positive(self):
+        config = preset_config("1cfa-sharded", "lam").replace(shards=0)
+        with pytest.raises(ValueError, match="at least 1"):
+            config.validated()
+
+    def test_shards_without_sharded_parallelism_is_rejected(self):
+        config = preset_config("1cfa-fused", "lam").replace(shards=4)
+        with pytest.raises(ValueError, match="parallelism='sharded'"):
+            config.validated()
+
+    @pytest.mark.parametrize(
+        "overrides",
+        (
+            {"engine": "worklist"},
+            {"engine": "kleene", "store_impl": "persistent"},
+            {"store_impl": "persistent"},
+            {"gc": True},
+            {"counting": True},
+        ),
+    )
+    def test_incompatible_axes_are_rejected(self, overrides):
+        config = preset_config("1cfa-sharded", "lam").replace(**overrides)
+        with pytest.raises(ValueError):
+            config.validated()
+
+    def test_sharded_preset_is_registered_and_valid(self):
+        assert "1cfa-sharded" in PRESETS
+        config = preset_config("1cfa-sharded", "lam")
+        assert config.parallelism == "sharded" and config.shards == 4
+        assert "sharded(4)" in config.describe()
+
+    def test_cache_key_ignores_the_parallelism_axis(self):
+        sequential = preset_config("1cfa-fused", "lam")
+        sharded = preset_config("1cfa-sharded", "lam")
+        assert sequential.cache_key() == sharded.cache_key()
+
+    def test_sharded_refuses_warm_start_and_capture(self):
+        config = preset_config("1cfa-sharded", "lam")
+        program = corpus_program("lam", "eta")
+        analysis = assemble(config, program=program)
+        with pytest.raises(TypeError, match="warm starts"):
+            analysis.run(program, capture=FixpointCapture())
+        with pytest.raises(TypeError, match="warm starts"):
+            analysis.run(program, warm_start=WarmStart(store={}, records={}))
+
+    def test_sharded_is_not_warmable(self):
+        assert not warmable(preset_config("1cfa-sharded", "lam"))
+        assert warmable(preset_config("1cfa-fused", "lam"))
+
+
+# ---------------------------------------------------------------------------
+# The adaptive batch pool
+# ---------------------------------------------------------------------------
+
+
+def _small_jobs():
+    from repro.service.batch import BatchJob
+
+    return [
+        BatchJob(config=preset_config("1cfa", "lam"), corpus="eta"),
+        BatchJob(config=preset_config("1cfa-fused", "lam"), corpus="eta"),
+        BatchJob(config=preset_config("1cfa", "lam"), corpus="church-two-two"),
+        BatchJob(config=preset_config("1cfa-fused", "lam"), corpus="church-two-two"),
+    ]
+
+
+class _FakeFuture:
+    def __init__(self, value=None, error=None):
+        self._value, self._error = value, error
+
+    def result(self):
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+class _FakePool:
+    """A ProcessPoolExecutor stand-in that computes chunks in-process.
+
+    ``breaker(chunk)`` may return an exception (the whole "worker" dies)
+    or a mutator applied to the packed payloads (damaged transport);
+    ``None`` passes the chunk through the real ``_run_chunk``.
+    """
+
+    captured: list = []
+
+    def __init__(self, max_workers=None, mp_context=None):
+        type(self).captured.append(max_workers)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+    def submit(self, fn, chunk):
+        breaker = type(self).breaker
+        outcome = breaker(chunk) if breaker is not None else None
+        if isinstance(outcome, Exception):
+            return _FakeFuture(error=outcome)
+        packed = fn(chunk)
+        if callable(outcome):
+            packed = outcome(packed)
+        return _FakeFuture(value=packed)
+
+    breaker = None
+
+
+@pytest.fixture
+def forced_pool(monkeypatch):
+    """Route run_batch's pool through _FakePool on a pretend 4-core box."""
+    import repro.service.batch as batch_mod
+
+    monkeypatch.setattr(batch_mod.os, "cpu_count", lambda: 4)
+    monkeypatch.setattr(batch_mod, "ProcessPoolExecutor", _FakePool)
+    monkeypatch.setattr(
+        batch_mod, "as_completed", lambda futures: list(futures), raising=True
+    )
+    _FakePool.captured = []
+    _FakePool.breaker = None
+    return batch_mod
+
+
+class TestAdaptiveBatchPool:
+    def test_sub_threshold_batch_never_spawns_workers(self):
+        from repro.service.batch import run_batch
+
+        report = run_batch(_small_jobs(), workers=4, min_pool_seconds=3600.0)
+        assert report.pool_workers == 0
+        assert report.inline_fallbacks == 0
+
+    def test_single_core_box_never_spawns_workers(self, monkeypatch):
+        import repro.service.batch as batch_mod
+
+        monkeypatch.setattr(batch_mod.os, "cpu_count", lambda: 1)
+        report = batch_mod.run_batch(_small_jobs(), workers=4, min_pool_seconds=0.0)
+        assert report.pool_workers == 0
+
+    def test_engaged_pool_matches_serial(self, forced_pool):
+        serial = forced_pool.run_batch(_small_jobs(), workers=1)
+        pooled = forced_pool.run_batch(_small_jobs(), workers=4, min_pool_seconds=0.0)
+        assert pooled.pool_workers >= 2
+        assert pooled.inline_fallbacks == 0
+        for left, right in zip(serial.outcomes, pooled.outcomes):
+            assert left.fp == right.fp
+
+    def test_dead_worker_falls_back_inline_for_its_chunk_only(self, forced_pool):
+        doomed: set = set()
+
+        def kill_first_chunk(chunk):
+            if not doomed:
+                doomed.update(index for index, _job in chunk)
+                return RuntimeError("worker died")
+            return None
+
+        _FakePool.breaker = staticmethod(kill_first_chunk)
+        serial = forced_pool.run_batch(_small_jobs(), workers=1)
+        pooled = forced_pool.run_batch(_small_jobs(), workers=4, min_pool_seconds=0.0)
+        assert pooled.inline_fallbacks == len(doomed) > 0
+        for left, right in zip(serial.outcomes, pooled.outcomes):
+            assert left.fp == right.fp
+
+    def test_damaged_transport_falls_back_for_that_job_only(self, forced_pool):
+        def corrupt_first_payload(packed):
+            index, payload = packed[0]
+            return [(index, {**payload, "object_blob": b"not a pickle"})] + packed[1:]
+
+        _FakePool.breaker = staticmethod(lambda chunk: corrupt_first_payload)
+        serial = forced_pool.run_batch(_small_jobs(), workers=1)
+        pooled = forced_pool.run_batch(_small_jobs(), workers=4, min_pool_seconds=0.0)
+        assert pooled.inline_fallbacks >= 1
+        for left, right in zip(serial.outcomes, pooled.outcomes):
+            assert left.fp == right.fp
+
+    def test_pooled_payloads_write_through_the_cache(self, forced_pool, tmp_path):
+        from repro.service.cache import FixpointCache
+
+        cache = FixpointCache(root=tmp_path / "fixcache")
+        pooled = forced_pool.run_batch(
+            _small_jobs(), workers=4, cache=cache, min_pool_seconds=0.0
+        )
+        assert pooled.pool_workers >= 2
+        reread = FixpointCache(root=tmp_path / "fixcache")
+        for outcome in pooled.outcomes:
+            entry = reread.get_key(outcome.key)
+            assert entry is not None and entry.fp == outcome.fp
+            assert entry.records  # warmable cells keep their sidecar
+
+    def test_report_document_carries_the_new_fields(self, forced_pool):
+        report = forced_pool.run_batch(_small_jobs(), workers=4, min_pool_seconds=0.0)
+        document = report.to_document()
+        assert document["pool_workers"] == report.pool_workers >= 2
+        assert document["inline_fallbacks"] == 0

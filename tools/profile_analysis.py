@@ -26,15 +26,29 @@ explicitly to profile another point.  Everything assembles through
 ``repro.config``, so a profiled configuration is exactly what the CLI
 and tests run for the same settings.
 
-Stdlib only (cProfile/pstats), like the rest of the tooling.
+``--pickle-cost`` swaps the profiler for a transport-cost measurement:
+run the analysis once, then time pickling, compressing, unpickling and
+rehydrating its frozen fixed point (and report the byte sizes).  These
+are the numbers that ground the batch runner's transport choices and
+the decision to shard the parallel worklist with threads rather than
+shipping per-round deltas between processes (PERFORMANCE.md, "Parallel
+fixpoints")::
+
+    PYTHONPATH=src python tools/profile_analysis.py --preset 1cfa-fused \\
+        --lang lam --workload church-two-two --pickle-cost --repeat 5
+
+Stdlib only (cProfile/pstats/pickle/zlib), like the rest of the tooling.
 """
 
 from __future__ import annotations
 
 import argparse
 import cProfile
+import pickle
 import pstats
 import sys
+import time
+import zlib
 
 
 def _corpus(lang: str) -> dict:
@@ -102,6 +116,47 @@ def build_analysis(args: argparse.Namespace, program):
     return assemble(config, program=program), config
 
 
+def measure_pickle_cost(result, repeat: int) -> dict:
+    """Serialize/deserialize cost of a frozen fixed point (best of N).
+
+    Measures the full round trip the batch pool pays per result:
+    ``pickle.dumps`` at the highest protocol, zlib compression at the
+    level the transport uses (1), ``pickle.loads``, and
+    :func:`repro.util.intern.rehydrate` back to canonical terms.  Best
+    of ``repeat`` runs, sizes from the first (they are deterministic).
+    """
+    from repro.service.cache import ensure_deep_pickle
+    from repro.util.intern import rehydrate
+
+    ensure_deep_pickle()
+    fp = result.fp
+
+    def best(fn) -> tuple[float, object]:
+        took, value = min(
+            (_timed_once(fn) for _ in range(max(1, repeat))), key=lambda pair: pair[0]
+        )
+        return took, value
+
+    dumps_s, blob = best(lambda: pickle.dumps(fp, protocol=pickle.HIGHEST_PROTOCOL))
+    compress_s, packed = best(lambda: zlib.compress(blob, 1))
+    loads_s, revived = best(lambda: pickle.loads(blob))
+    rehydrate_s, _ = best(lambda: rehydrate(revived))
+    return {
+        "pickle_bytes": len(blob),
+        "compressed_bytes": len(packed),
+        "dumps_seconds": dumps_s,
+        "compress_seconds": compress_s,
+        "loads_seconds": loads_s,
+        "rehydrate_seconds": rehydrate_s,
+    }
+
+
+def _timed_once(fn) -> tuple[float, object]:
+    start = time.perf_counter()
+    value = fn()
+    return time.perf_counter() - start, value
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--lang", required=True, choices=("cps", "lam", "fj"))
@@ -136,10 +191,39 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--repeat", type=int, default=1, help="profile N back-to-back runs"
     )
+    parser.add_argument(
+        "--pickle-cost",
+        action="store_true",
+        help="measure serialize/deserialize time and byte size of the "
+        "workload's frozen fixed point instead of profiling (--repeat "
+        "becomes best-of-N)",
+    )
     args = parser.parse_args(argv)
 
     program = resolve_workload(args.lang, args.workload)
     analysis, config = build_analysis(args, program)
+
+    if args.pickle_cost:
+        run_start = time.perf_counter()
+        result = analysis.run(program)
+        run_seconds = time.perf_counter() - run_start
+        cost = measure_pickle_cost(result, args.repeat)
+        print(f"pickle cost of {config.describe()} on {args.lang}/{args.workload}")
+        print(f"  analysis run     {run_seconds * 1e3:10.3f} ms")
+        print(f"  pickle.dumps     {cost['dumps_seconds'] * 1e3:10.3f} ms  "
+              f"{cost['pickle_bytes']:>10} bytes")
+        print(f"  zlib.compress(1) {cost['compress_seconds'] * 1e3:10.3f} ms  "
+              f"{cost['compressed_bytes']:>10} bytes "
+              f"({cost['compressed_bytes'] / max(1, cost['pickle_bytes']):.2%})")
+        print(f"  pickle.loads     {cost['loads_seconds'] * 1e3:10.3f} ms")
+        print(f"  rehydrate        {cost['rehydrate_seconds'] * 1e3:10.3f} ms")
+        round_trip = (
+            cost["dumps_seconds"] + cost["loads_seconds"] + cost["rehydrate_seconds"]
+        )
+        print(f"  round trip       {round_trip * 1e3:10.3f} ms  "
+              f"({round_trip / max(run_seconds, 1e-9):.1%} of one analysis run)")
+        return 0
+
     print(f"profiling {config.describe()} on {args.lang}/{args.workload}", file=sys.stderr)
 
     profiler = cProfile.Profile()
