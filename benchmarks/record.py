@@ -3,7 +3,8 @@
 Runs every fixed-point engine / store-impl combination over one workload
 per language -- plus the abstract-GC workloads, a counting workload, the
 generic-vs-fused transition rows, and the service-layer workloads
-(sharded batch pool, fixpoint-cache hits, warm-start re-analysis) -- and
+(sharded batch pool, fixpoint-cache hits, warm-start re-analysis, and
+the resident-server hot-request latency against a cold CLI run) -- and
 writes a machine-readable baseline, so each PR leaves a ``BENCH_*.json``
 behind and regressions are visible as a series rather than one-off
 pytest-benchmark artifacts::
@@ -26,7 +27,7 @@ the same code the ``repro batch`` CLI runs.
 The JSON shape (see PERFORMANCE.md for how to read it)::
 
     {
-      "schema": "engine-suite/4",
+      "schema": "engine-suite/5",
       "workloads": {
         "<workload>": {
           "<engine>/<store_impl>": {            # generic transition
@@ -52,7 +53,9 @@ The JSON shape (see PERFORMANCE.md for how to read it)::
                               "gil_enabled", "rounds", "peak_frontier"},
         "cache":       {"cold_seconds", "hit_seconds", "speedup"},
         "warm-chain":  {"cold_seconds", "warm_seconds", "speedup",
-                        "cold_evaluations", "warm_evaluations"}
+                        "cold_evaluations", "warm_evaluations"},
+        "serve-latency": {"cold_cli_seconds", "hot_request_seconds",
+                          "speedup", "requests"}
       }
     }
 
@@ -75,9 +78,13 @@ the sharded fixpoint is less than ``--min-sharded-speedup`` (default
 cores with the GIL disabled, since worker threads over pure-Python
 evaluations cannot overlap under a GIL; skipped with a notice
 otherwise (the fixed-point *equality* is asserted unconditionally) --
-or (f) warm-starting the one-edit chain workload is less than
+(f) warm-starting the one-edit chain workload is less than
 ``--min-warm-speedup`` (default 5.0) times faster than re-analysing it
-cold.
+cold, or (g) a repeat request through the resident server's hot tier is
+less than ``--min-serve-speedup`` (default 20.0) times faster than a
+cold ``repro analyze`` CLI invocation of the same cell -- the whole
+point of keeping an engine resident is amortizing interpreter start-up,
+imports, and the analysis itself, so this gate holds on any hardware.
 """
 
 from __future__ import annotations
@@ -314,6 +321,87 @@ def run_parallel_fixpoint_row() -> dict:
     }
 
 
+#: The serve-latency cell: one corpus program, one preset.
+SERVE_CELL = ("cps", "mj09", "1cfa")
+
+#: Repeat counts for the serve-latency row (cold subprocesses are
+#: expensive; hot socket requests are not).
+_SERVE_COLD_REPS = 3
+_SERVE_HOT_REPS = 9
+
+
+def run_serve_latency_row() -> dict:
+    """A hot request through the resident server vs a cold CLI run.
+
+    The cold cell is the honest baseline a user without the server pays:
+    a fresh ``python -m repro analyze`` subprocess (interpreter start-up,
+    imports, parse, cold fixed point).  The hot cell is the same analysis
+    asked of an already-running :class:`~repro.serve.server.ServerHandle`
+    whose hot tier was primed by one prior request -- every timed
+    response is asserted to carry ``tier: "hot"``, so the row measures
+    the memoized path, not a lucky disk hit.
+    """
+    import subprocess
+    import tempfile
+
+    import repro
+    from repro.corpus import corpus_program
+    from repro.cps.syntax import pp as cps_pp
+    from repro.serve.client import ServeClient
+    from repro.serve.server import ServerHandle
+
+    lang, corpus, preset = SERVE_CELL
+    source = cps_pp(corpus_program(lang, corpus))
+    src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src_root + (os.pathsep + existing if existing else "")
+
+    cold_seconds = None
+    with tempfile.TemporaryDirectory() as tmp:
+        program_path = os.path.join(tmp, f"{corpus}.{lang}")
+        with open(program_path, "w") as handle:
+            handle.write(source)
+        argv = [
+            sys.executable,
+            "-m",
+            "repro",
+            "analyze",
+            program_path,
+            "--lang",
+            lang,
+            "--preset",
+            preset,
+        ]
+        for _ in range(_SERVE_COLD_REPS):
+            start = time.perf_counter()
+            subprocess.run(argv, env=env, check=True, capture_output=True)
+            elapsed = time.perf_counter() - start
+            cold_seconds = elapsed if cold_seconds is None else min(cold_seconds, elapsed)
+
+        hot_seconds = None
+        params = {"language": lang, "corpus": corpus, "preset": preset}
+        with ServerHandle(cache_dir=os.path.join(tmp, "cache"), workers=2) as handle:
+            with ServeClient(handle.port) as client:
+                primer = client.call("analyse", params)
+                assert primer["tier"] in ("cold", "disk"), primer["tier"]
+                for _ in range(_SERVE_HOT_REPS):
+                    start = time.perf_counter()
+                    row = client.call("analyse", params)
+                    elapsed = time.perf_counter() - start
+                    assert row["tier"] == "hot", f"repeat request not hot: {row['tier']}"
+                    hot_seconds = (
+                        elapsed if hot_seconds is None else min(hot_seconds, elapsed)
+                    )
+    return {
+        "workload": f"{lang}-{corpus}-{preset}",
+        "requests": _SERVE_HOT_REPS,
+        "cold_cli_seconds": round(cold_seconds, 6),
+        "hot_request_seconds": round(hot_seconds, 6),
+        "speedup": round(cold_seconds / hot_seconds, 2),
+    }
+
+
 def run_service_suite() -> dict:
     """Time the service layer: pool sharding, cache hits, warm starts."""
     import tempfile
@@ -420,12 +508,21 @@ def run_service_suite() -> dict:
         f"(evals {cold_stats.get('evaluations')} -> {warm_stats.get('evaluations')})",
         file=sys.stderr,
     )
+
+    service["serve-latency"] = run_serve_latency_row()
+    row = service["serve-latency"]
+    print(
+        f"{'service-serve-latency':28s} cli    {row['cold_cli_seconds']:7.3f}s  "
+        f"hot     {row['hot_request_seconds']:7.3f}s  "
+        f"{row['speedup']:.2f}x",
+        file=sys.stderr,
+    )
     return service
 
 
 def run_suite() -> dict:
     record: dict = {
-        "schema": "engine-suite/4",
+        "schema": "engine-suite/5",
         "python": sys.version.split()[0],
         "workloads": {},
         "speedups": {},
@@ -474,6 +571,7 @@ def check(
     min_warm_speedup: float = 5.0,
     min_engaged_pool_speedup: float = 2.0,
     min_sharded_speedup: float = 1.5,
+    min_serve_speedup: float = 20.0,
 ) -> list[str]:
     """The CI gates.
 
@@ -498,7 +596,11 @@ def check(
       fixed-point equality was already asserted when the row was
       recorded, on every machine;
     * the one-edit warm start must beat the cold re-analysis by
-      ``min_warm_speedup``.
+      ``min_warm_speedup``;
+    * a hot repeat request through the resident server must beat a cold
+      ``repro analyze`` subprocess by ``min_serve_speedup`` -- no skip
+      condition: the hot tier is a dictionary lookup and the cold cell
+      pays interpreter start-up, so the margin is enormous everywhere.
     """
     failures = []
     for label, speedups in record["speedups"].items():
@@ -565,6 +667,12 @@ def check(
             f"service-warm-chain: warm start only {warm['speedup']:.2f}x over "
             f"cold (need >= {min_warm_speedup:.1f}x)"
         )
+    serve = service.get("serve-latency")
+    if serve is not None and serve["speedup"] < min_serve_speedup:
+        failures.append(
+            f"service-serve-latency: hot request only {serve['speedup']:.2f}x over "
+            f"a cold CLI run (need >= {min_serve_speedup:.1f}x)"
+        )
     return failures
 
 
@@ -624,7 +732,8 @@ def main(argv: list[str] | None = None) -> int:
         "pool below --min-pool-speedup over serial at any core count (or below "
         "--min-engaged-pool-speedup when it engaged on enough cores), the "
         "sharded fixpoint below --min-sharded-speedup on >= 4 GIL-free cores, "
-        "or the warm start below --min-warm-speedup over cold",
+        "the warm start below --min-warm-speedup over cold, or the resident "
+        "server's hot tier below --min-serve-speedup over a cold CLI run",
     )
     parser.add_argument("--min-speedup", type=float, default=2.0)
     parser.add_argument("--min-fused-speedup", type=float, default=2.0)
@@ -632,6 +741,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-engaged-pool-speedup", type=float, default=2.0)
     parser.add_argument("--min-sharded-speedup", type=float, default=1.5)
     parser.add_argument("--min-warm-speedup", type=float, default=5.0)
+    parser.add_argument("--min-serve-speedup", type=float, default=20.0)
     args = parser.parse_args(argv)
 
     output = args.output or next_output_name()
@@ -653,6 +763,7 @@ def main(argv: list[str] | None = None) -> int:
             args.min_warm_speedup,
             min_engaged_pool_speedup=args.min_engaged_pool_speedup,
             min_sharded_speedup=args.min_sharded_speedup,
+            min_serve_speedup=args.min_serve_speedup,
         )
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)

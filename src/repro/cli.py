@@ -65,7 +65,7 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.analysis.report import fmt_table, precision_summary, timed
+from repro.analysis.report import fmt_table, precision_summary
 
 
 def detect_language(path: str, explicit: str | None) -> str:
@@ -203,7 +203,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         return 0
     if args.program is None:
         raise SystemExit("analyze needs a program file (or --list-presets)")
-    from repro.config import assemble
+    from repro.service.jobs import dispatch
 
     lang = detect_language(args.program, args.lang)
     source = read_source(args.program)
@@ -214,11 +214,6 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         from repro.cps.parser import parse_program
 
         program = parse_program(source)
-        analysis = _assemble(lambda: assemble(config))
-        result, seconds = timed(
-            lambda: analysis.run(program, worklist=not config.shared)
-        )
-        flows = result.flows_to()
     elif lang in ("lam", "imp"):
         if lang == "imp":
             from repro.imp import lower_source
@@ -228,13 +223,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             from repro.lam.parser import parse_expr
 
             program = parse_expr(source)
-        analysis = _assemble(lambda: assemble(config))
-        result, seconds = timed(
-            lambda: analysis.run(program, worklist=not config.shared)
-        )
-        flows = result.flows_to()
     else:
-        from repro.fj.class_table import ClassTable
         from repro.fj.parser import parse_program as parse_fj
         from repro.fj.typecheck import typecheck_program
 
@@ -242,12 +231,21 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         check = typecheck_program(program)
         for warning in check.warnings:
             print(f"warning: {warning}", file=sys.stderr)
-        analysis = _assemble(lambda: assemble(config, program=program))
-        result, seconds = timed(
-            lambda: analysis.run(program, worklist=not config.shared)
-        )
+
+    # the same tier cascade every other front end runs (repro.service.jobs):
+    # without --cache-dir it degrades to exactly the old parse-assemble-run
+    cache = None
+    if args.cache_dir:
+        from repro.service.cache import FixpointCache
+
+        cache = FixpointCache(root=args.cache_dir)
+    outcome = _assemble(lambda: dispatch(config=config, program=program, cache=cache))
+    result, seconds = outcome.result, outcome.seconds
+    if lang == "fj":
         flows = result.class_flows()
         if args.check_casts:
+            from repro.fj.class_table import ClassTable
+
             failures = result.possible_cast_failures(ClassTable.of(program))
             if failures:
                 print("casts that may fail:")
@@ -255,6 +253,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
                     print(f"  ({target}) applied to a {actual}")
             else:
                 print("all casts proved safe")
+    else:
+        flows = result.flows_to()
 
     summary = precision_summary(flows)
     print(_flows_table(flows))
@@ -264,14 +264,17 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         f"states: {result.num_states()}  store: {result.store_size()}  "
         f"mean flow: {summary['mean_flow']}  time: {seconds:.3f}s{label}"
     )
-    if config.engine is not None and analysis.last_stats:
-        stats = analysis.last_stats
+    if config.engine is not None and outcome.stats:
+        stats = outcome.stats
         fused = ", fused" if config.transition == "fused" else ""
         print(
             f"engine: {config.engine} ({config.store_impl}{fused})  "
             f"evaluations: {stats.get('evaluations', '-')}  "
             f"retriggers: {stats.get('retriggers', '-')}"
         )
+    if cache is not None:
+        print(f"cache: {'hit' if outcome.cached else 'miss'} ({outcome.tier})")
+        cache.flush_stats()
     return 0
 
 
@@ -381,6 +384,82 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.server import AnalysisServer
+
+    server = AnalysisServer(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        hot_entries=args.hot_entries,
+        default_timeout=args.timeout,
+        intern_limit=args.intern_limit,
+    )
+
+    async def main() -> None:
+        await server.start()
+        # the "listening" line is the readiness signal scripts (and the CI
+        # smoke) wait for; flush so it crosses a pipe immediately
+        print(f"repro serve listening on {server.host}:{server.port}", flush=True)
+        await server.wait_stopped()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass  # ^C is the interactive shutdown; the server flushed in stop()
+    return 0
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.report import render_json
+    from repro.serve.client import ServeClient, ServeError
+
+    if args.json:
+        try:
+            params = json.loads(args.json)
+        except json.JSONDecodeError as error:
+            raise SystemExit(f"--json is not valid JSON: {error}")
+        if not isinstance(params, dict):
+            raise SystemExit("--json must encode an object")
+    else:
+        params = {}
+    # convenience flags compose with (and override) --json
+    if args.program:
+        lang = detect_language(args.program, args.lang)
+        params.update(language=lang, source=read_source(args.program))
+    elif args.lang:
+        params.setdefault("language", args.lang)
+    if args.corpus:
+        params["corpus"] = args.corpus
+    if args.preset:
+        params["preset"] = args.preset
+    if args.flows:
+        params["include_flows"] = True
+
+    try:
+        client = ServeClient(port=args.port, host=args.host, timeout=args.timeout)
+    except OSError as error:
+        raise SystemExit(f"cannot reach repro serve at {args.host}:{args.port}: {error}")
+    with client:
+        try:
+            result = client.call(args.method, params)
+        except ServeError as error:
+            print(
+                render_json({"code": error.code, "name": error.name, "message": str(error)}),
+                end="",
+                file=sys.stderr,
+            )
+            return 1
+    print(render_json(result), end="")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -456,6 +535,11 @@ def build_parser() -> argparse.ArgumentParser:
     an_p.add_argument("--counting", action="store_true", help="counting store")
     an_p.add_argument(
         "--check-casts", action="store_true", help="report may-fail casts (FJ only)"
+    )
+    an_p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="consult (and fill) a fixpoint cache directory, like batch does",
     )
     an_p.set_defaults(fn=cmd_analyze)
 
@@ -544,6 +628,87 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", default=None, help="write the deterministic JSON report here"
     )
     fuzz_p.set_defaults(fn=cmd_fuzz)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the resident analysis server: a warm in-process engine "
+        "(persistent intern pool, hot fixpoint LRU over the disk cache) "
+        "behind a newline-JSON socket protocol (see repro.serve)",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 picks a free one)"
+    )
+    serve_p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="fixpoint cache directory backing the disk tier (created if "
+        "missing); omit to serve from the hot tier alone",
+    )
+    serve_p.add_argument(
+        "--workers", type=int, default=2, help="analysis worker threads"
+    )
+    serve_p.add_argument(
+        "--queue-limit",
+        type=int,
+        default=32,
+        help="max requests in flight before queue-full errors",
+    )
+    serve_p.add_argument(
+        "--hot-entries",
+        type=int,
+        default=256,
+        help="hot in-memory LRU capacity (fixed points)",
+    )
+    serve_p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="default per-request timeout in seconds (requests may override)",
+    )
+    serve_p.add_argument(
+        "--intern-limit",
+        type=int,
+        default=None,
+        help="clear the intern pool (and hot tier) when it exceeds this "
+        "many canonical terms; default unbounded",
+    )
+    serve_p.set_defaults(fn=cmd_serve)
+
+    client_p = sub.add_parser(
+        "client",
+        help="send one request to a running repro serve and print the "
+        "JSON response",
+    )
+    client_p.add_argument(
+        "method",
+        choices=("ping", "analyse", "reanalyse", "batch", "stats", "shutdown"),
+    )
+    client_p.add_argument(
+        "program",
+        nargs="?",
+        default=None,
+        help="source file to analyse (language by extension; shorthand for "
+        "building params)",
+    )
+    client_p.add_argument("--host", default="127.0.0.1")
+    client_p.add_argument("--port", type=int, required=True)
+    client_p.add_argument(
+        "--json",
+        default=None,
+        help="request params as a JSON object (the full surface; "
+        "convenience flags below are merged over it)",
+    )
+    client_p.add_argument("--lang", choices=("cps", "lam", "fj", "imp"))
+    client_p.add_argument("--corpus", default=None, help="corpus program name")
+    client_p.add_argument("--preset", default=None)
+    client_p.add_argument(
+        "--flows", action="store_true", help="include full flow tables"
+    )
+    client_p.add_argument(
+        "--timeout", type=float, default=60.0, help="socket timeout in seconds"
+    )
+    client_p.set_defaults(fn=cmd_client)
     return parser
 
 

@@ -48,8 +48,8 @@ learned to sweep reachability and saturate counts (see
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace as _dc_replace
-from typing import Any
+from dataclasses import dataclass, fields as dataclass_fields, replace as _dc_replace
+from typing import Any, Mapping
 
 from repro.core.addresses import (
     Addressable,
@@ -391,6 +391,40 @@ def preset_config(name: str, language: str | None = None) -> AnalysisConfig:
     if language is not None:
         config = config.replace(language=language)
     return config
+
+
+def request_config(
+    language: str,
+    preset: str | None = None,
+    overrides: Mapping[str, Any] | None = None,
+    label: str = "",
+) -> AnalysisConfig:
+    """Resolve a service request's scalar parameters into a validated config.
+
+    The wire-facing twin of :func:`build_config`: everything arrives as
+    plain JSON scalars (a language, an optional preset name, an optional
+    ``{field: value}`` override mapping), never as live ``Addressable``
+    or store objects, so the same call serves the analysis server's
+    request router, the ``repro client`` front end, and batch-job
+    normalization (:func:`repro.service.jobs.normalize_job`).  Unknown
+    override fields raise ``ValueError`` with the allowed names -- a
+    request must fail loudly, not silently ignore a typo'd field.
+    """
+    config = preset_config(preset or "1cfa", language)
+    if overrides:
+        allowed = {
+            f.name for f in dataclass_fields(AnalysisConfig) if f.name != "language"
+        }
+        unknown = sorted(set(overrides) - allowed)
+        if unknown:
+            raise ValueError(
+                f"unknown config override(s) {unknown}; "
+                f"choose from: {', '.join(sorted(allowed))}"
+            )
+        config = config.replace(**dict(overrides))
+    if label:
+        config = config.replace(label=label)
+    return config.validated()
 
 
 def list_presets() -> list[tuple[str, str, str]]:

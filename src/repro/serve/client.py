@@ -1,0 +1,82 @@
+"""A small synchronous client for the resident analysis server.
+
+One socket, one request at a time (an internal lock keeps concurrent
+callers' request/response pairs from interleaving -- though the soak
+tests give each thread its own client, which is also the recommended
+shape: the server handles connections concurrently, a single connection
+serially).  This is what ``repro client`` wraps and what the tests,
+benchmark, and CI smoke drive the server with.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+import threading
+from typing import Any
+
+from repro.serve import protocol
+
+
+class ServeError(Exception):
+    """An error *response* from the server (not a transport failure)."""
+
+    def __init__(self, code: int, name: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+        self.name = name
+
+
+class ServeClient:
+    """A blocking newline-JSON client for one server connection."""
+
+    def __init__(
+        self, port: int, host: str = "127.0.0.1", timeout: float | None = 60.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+
+    def call(self, method: str, params: dict | None = None) -> Any:
+        """One request, one response; returns ``result`` or raises.
+
+        :class:`ServeError` carries the server's typed error (code,
+        stable name, message); transport-level trouble (connection gone,
+        non-JSON bytes) raises ``ConnectionError``.
+        """
+        request = {"id": next(self._ids), "method": method, "params": params or {}}
+        with self._lock:
+            self._file.write(protocol.encode(request))
+            self._file.flush()
+            line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        try:
+            response = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ConnectionError(f"undecodable server response: {error}")
+        if not isinstance(response, dict):
+            raise ConnectionError("server response is not an object")
+        error = response.get("error")
+        if error is not None:
+            raise ServeError(
+                code=error.get("code", 0),
+                name=error.get("name", "error"),
+                message=error.get("message", ""),
+            )
+        return response.get("result")
+
+    def close(self) -> None:
+        for closer in (self._file.close, self._sock.close):
+            try:
+                closer()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

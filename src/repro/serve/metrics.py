@@ -1,0 +1,93 @@
+"""The resident server's counter surface (the ``stats`` method's backing).
+
+One :class:`ServerMetrics` instance per server, shared by every worker
+thread, so there is exactly one place request counts, per-tier serving
+counts, error counts, and latency percentiles accumulate -- the same
+single-counter-source discipline the fixpoint cache follows (its
+``lifetime`` block), extended to the protocol layer.
+
+Counting discipline (load-bearing for the golden protocol tests):
+requests are counted at *receipt* and errors/tiers/latencies at
+*handler completion* -- all on the event-loop side, never inside the
+worker job.  A timed-out request therefore contributes one request, one
+``timeout`` error, and nothing else, even though its orphaned worker job
+may still be running (and eventually finishing) when the next ``stats``
+request is answered: counters reflect what the server *said*, which is
+the only thing a deterministic test can pin.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import defaultdict
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    """The nearest-rank percentile of a sample list (0 for no samples)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+class ServerMetrics:
+    """Thread-safe request/tier/error/latency accounting for one server."""
+
+    #: Per-method latency samples kept for the percentiles; older samples
+    #: roll off so a long-lived daemon's stats stay O(1) and current.
+    MAX_SAMPLES = 1024
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self.requests: dict[str, int] = defaultdict(int)
+        self.errors: dict[str, int] = defaultdict(int)
+        self.tiers: dict[str, int] = defaultdict(int)
+        self._latencies: dict[str, list[float]] = defaultdict(list)
+
+    def record_request(self, method: str) -> None:
+        """Count one request at receipt (before any validation or work)."""
+        with self._lock:
+            self.requests[method] += 1
+
+    def record_error(self, name: str) -> None:
+        """Count one error response by its stable protocol name."""
+        with self._lock:
+            self.errors[name] += 1
+
+    def record_tier(self, tier: str) -> None:
+        """Count which tier answered (hot | disk | warm | cold)."""
+        with self._lock:
+            self.tiers[tier] += 1
+
+    def record_latency(self, method: str, seconds: float) -> None:
+        """Record one successful request's wall-clock service time."""
+        with self._lock:
+            samples = self._latencies[method]
+            samples.append(seconds)
+            if len(samples) > self.MAX_SAMPLES:
+                del samples[: len(samples) - self.MAX_SAMPLES]
+
+    def snapshot(self) -> dict:
+        """One consistent stats document (the ``stats`` method's core).
+
+        ``latency`` values are rounded to microseconds: precise enough
+        for any consumer, and it keeps the document shape stable.
+        """
+        with self._lock:
+            return {
+                "uptime_seconds": round(time.monotonic() - self._started, 6),
+                "requests": dict(sorted(self.requests.items())),
+                "errors": dict(sorted(self.errors.items())),
+                "tiers": dict(sorted(self.tiers.items())),
+                "latency": {
+                    method: {
+                        "count": len(samples),
+                        "p50": round(percentile(samples, 0.50), 6),
+                        "p99": round(percentile(samples, 0.99), 6),
+                    }
+                    for method, samples in sorted(self._latencies.items())
+                },
+            }

@@ -1,8 +1,9 @@
 """``run_batch``: shard a grid of analyses across processes, behind the cache.
 
-The batch runner is deliberately dumb about analysis internals -- a job
-is ``(program, AnalysisConfig)`` plus a label -- and deliberately careful
-about process boundaries:
+The batch runner is the *pool-shaped* front end of the shared dispatch
+core (:mod:`repro.service.jobs` owns job normalization, the cache-first
+probe, and report shaping); what lives here is the process-boundary
+orchestration:
 
 * **Spawn-safe by construction.**  Jobs travel to workers as *source
   text* (or a corpus program name) plus a config of plain scalars, never
@@ -17,11 +18,12 @@ about process boundaries:
   locally parsed term (the fork/pickle hazard documented in
   :mod:`repro.util.intern`).
 * **Cache first.**  With a :class:`~repro.service.cache.FixpointCache`
-  attached, every job's content address is consulted before dispatch;
-  only misses reach the pool, and their results (with warm-start
-  evaluation records, where the configuration supports them) are written
-  back by the parent -- workers never touch the cache directory, so no
-  cross-process index locking exists to get wrong.
+  attached, every job's content address is consulted before dispatch
+  (:func:`repro.service.jobs.probe`); only misses reach the pool, and
+  their results (with warm-start evaluation records, where the
+  configuration supports them) are written back by the parent -- workers
+  never touch the cache directory, so no cross-process index locking
+  exists to get wrong.
 * **Adaptive.**  The pool only engages when it can pay for itself: the
   first unique miss runs inline as a *probe*, and the measured job cost
   times the remaining job count must clear :data:`_MIN_POOL_SECONDS`
@@ -45,8 +47,9 @@ about process boundaries:
 
 The result is a :class:`BatchReport` whose :meth:`BatchReport.render`
 is deterministic JSON (:func:`repro.analysis.report.render_json`):
-the machine-readable artifact the CLI's ``repro batch`` writes and the
-CI cache-smoke job asserts over.
+the machine-readable artifact the CLI's ``repro batch`` writes, the CI
+cache-smoke job asserts over, and the server's ``batch`` method returns
+on the wire.
 """
 
 from __future__ import annotations
@@ -58,19 +61,25 @@ import pickle
 import time
 import zlib
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass, field
-from typing import Any, Iterable, Sequence
+from dataclasses import dataclass
+from typing import Iterable, Sequence
 
-from repro.analysis.report import render_json, result_summary
-from repro.config import AnalysisConfig, assemble
-from repro.core.fixpoint import FixpointCapture
+from repro.analysis.report import render_json
 from repro.service.cache import (
     PAYLOAD_SCHEMA,
     FixpointCache,
-    cache_key,
     ensure_deep_pickle,
 )
-from repro.service.incremental import warmable, wrap_fixpoint
+from repro.service.jobs import (  # noqa: F401  (re-exported batch surface)
+    BatchJob,
+    JobOutcome,
+    complete,
+    outcome_row,
+    prepare,
+    probe,
+    resolve_program,
+    run_cold,
+)
 from repro.util.intern import rehydrate
 
 #: The pool engages only when the probe-predicted serial cost of the
@@ -79,82 +88,6 @@ from repro.util.intern import rehydrate
 #: predicted work is the point where a multi-worker pool reliably wins
 #: on the machines the benchmarks run on.
 _MIN_POOL_SECONDS = 2.0
-
-
-@dataclass(frozen=True)
-class BatchJob:
-    """One cell of a batch: a program (by source or corpus name) x a config.
-
-    Everything in here is plain, picklable scalar data -- the property
-    that makes the job spawn-safe.  ``config`` must carry its language;
-    use :func:`jobs_for` to build grids from preset names.
-    """
-
-    config: AnalysisConfig
-    source: str | None = None
-    corpus: str | None = None
-    label: str = ""
-
-    def __post_init__(self) -> None:
-        if (self.source is None) == (self.corpus is None):
-            raise ValueError("a BatchJob names exactly one of source= or corpus=")
-        if self.config.language is None:
-            raise ValueError("a BatchJob's config must carry its language")
-
-    def describe(self) -> str:
-        """A short human-readable cell name for tables and reports."""
-        program = self.corpus if self.corpus else "<source>"
-        return self.label or f"{self.config.language}/{program}/{self.config.describe()}"
-
-
-def resolve_program(job: BatchJob) -> Any:
-    """Parse (or look up) the job's program in *this* process.
-
-    Parsing interns every node, so resolving the same job in parent and
-    worker yields structurally identical, locally-canonical terms --
-    the content address is therefore process-independent.
-    """
-    language = job.config.language
-    if job.corpus is not None:
-        from repro.corpus import corpus_program
-
-        return corpus_program(language, job.corpus)
-    if language == "cps":
-        from repro.cps.parser import parse_program
-
-        return parse_program(job.source)
-    if language == "lam":
-        from repro.lam.parser import parse_expr
-
-        return parse_expr(job.source)
-    from repro.fj.parser import parse_program as parse_fj
-
-    return parse_fj(job.source)
-
-
-def _run_job(job: BatchJob) -> dict:
-    """Execute one job cold (worker side; also the inline path).
-
-    Returns only picklable data: the fixed point, optional warm-start
-    records, timing and engine stats.
-    """
-    # the pool serializes this function's return value outside anything
-    # we can wrap, so give the *worker process* its pickle headroom here
-    ensure_deep_pickle()
-    program = resolve_program(job)
-    config = job.config
-    analysis = assemble(config, program=program)
-    capture = FixpointCapture() if warmable(config) else None
-    start = time.perf_counter()
-    result = analysis.run(program, worklist=not config.shared, capture=capture)
-    seconds = time.perf_counter() - start
-    return {
-        "fp": result.fp,
-        "records": dict(capture.records) if capture is not None else None,
-        "seconds": seconds,
-        "stats": dict(analysis.last_stats),
-        "pid": os.getpid(),
-    }
 
 
 def _pack_job(job: BatchJob) -> dict:
@@ -168,7 +101,7 @@ def _pack_job(job: BatchJob) -> dict:
     Compression level 1 because the pipe, not the CPU, is the bottleneck
     here: interned term graphs pickle with enormous redundancy.
     """
-    payload = _run_job(job)
+    payload = run_cold(job)
     object_blob = zlib.compress(
         pickle.dumps(
             {"schema": PAYLOAD_SCHEMA, "fp": payload["fp"]},
@@ -199,24 +132,6 @@ def _run_chunk(chunk: Sequence[tuple[int, BatchJob]]) -> list[tuple[int, dict]]:
 
 
 @dataclass
-class JobOutcome:
-    """One job's result: where it came from and what it cost."""
-
-    job: BatchJob
-    result: Any
-    key: str
-    cached: bool
-    seconds: float
-    stats: dict = field(default_factory=dict)
-    worker_pid: int | None = None
-
-    @property
-    def fp(self) -> Any:
-        """The fixed point itself (shared by every acceptance check)."""
-        return self.result.fp
-
-
-@dataclass
 class BatchReport:
     """The machine-readable outcome of one :func:`run_batch` call."""
 
@@ -229,25 +144,12 @@ class BatchReport:
 
     def to_document(self, include_flows: bool = False) -> dict:
         """The report as deterministic-JSON-ready data."""
-        rows = []
-        for outcome in self.outcomes:
-            summary = result_summary(
-                outcome.result, label=outcome.job.describe(), seconds=outcome.seconds
-            )
-            if not include_flows:
-                summary.pop("flows")
-            summary.update(
-                key=outcome.key,
-                language=outcome.job.config.language,
-                config=outcome.job.config.cache_key(),
-                cache="hit" if outcome.cached else "miss",
-                evaluations=outcome.stats.get("evaluations"),
-                reused=outcome.stats.get("reused"),
-            )
-            rows.append(summary)
         return {
             "schema": "batch-report/1",
-            "jobs": rows,
+            "jobs": [
+                outcome_row(outcome, include_flows=include_flows)
+                for outcome in self.outcomes
+            ],
             "workers": self.workers,
             "pool_workers": self.pool_workers,
             "inline_fallbacks": self.inline_fallbacks,
@@ -322,10 +224,9 @@ def run_batch(
     ensure_deep_pickle()  # pool results unpickle on a parent-side thread
     started = time.perf_counter()
 
-    # normalize every config up front: content addresses must be computed
-    # on the *validated* config (validation e.g. implies the store
-    # widening for engine configs), or batch-written entries would never
-    # match the keys reanalyse/latest_for derive
+    # normalize every config up front: the workers receive the same
+    # validated jobs the content addresses are derived from (prepare()
+    # re-validates, but chunk dispatch pickles the job as-is)
     jobs = [
         job
         if (validated := job.config.validated()) == job.config
@@ -333,27 +234,13 @@ def run_batch(
         for job in jobs
     ]
 
-    prepared = []  # (job, program, analysis, key), aligned with jobs
+    prepared = [prepare(job) for job in jobs]
     outcomes: list[JobOutcome | None] = [None] * len(jobs)
     misses: list[int] = []
-    for index, job in enumerate(jobs):
-        program = resolve_program(job)
-        key = cache_key(program, job.config)
-        analysis = assemble(job.config, program=program)
-        prepared.append((job, program, analysis, key))
+    for index, cell in enumerate(prepared):
         if cache is not None and use_cache:
-            load_start = time.perf_counter()
-            # the report only needs the fixed point; leave the (larger)
-            # warm-start records sidecar on disk
-            entry = cache.get_key(key, with_records=False)
-            if entry is not None:
-                outcomes[index] = JobOutcome(
-                    job=job,
-                    result=wrap_fixpoint(analysis, entry.fp, program, job.config.language),
-                    key=key,
-                    cached=True,
-                    seconds=time.perf_counter() - load_start,
-                )
+            outcomes[index] = probe(cell, cache=cache)
+            if outcomes[index] is not None:
                 continue
         misses.append(index)
 
@@ -364,7 +251,7 @@ def run_batch(
         # one computation (the duplicates share the payload below)
         leaders: dict[str, int] = {}
         for index in misses:
-            leaders.setdefault(prepared[index][3], index)
+            leaders.setdefault(prepared[index].key, index)
         unique = sorted(leaders.values())
         computed: dict[int, dict] = {}
         pending = list(unique)
@@ -374,7 +261,7 @@ def run_batch(
             # probe: the first unique job runs inline and its measured
             # cost decides whether the rest are worth a pool at all
             probe_index = pending[0]
-            computed[probe_index] = _run_job(jobs[probe_index])
+            computed[probe_index] = run_cold(jobs[probe_index])
             pending = pending[1:]
             if computed[probe_index]["seconds"] * len(pending) >= min_pool_seconds:
                 pool_workers = min(pool_cap, len(pending))
@@ -400,7 +287,7 @@ def run_batch(
                             # analysis error will re-raise here, in the
                             # parent, where it is attributable
                             for index, job in chunk:
-                                computed[index] = _run_job(job)
+                                computed[index] = run_cold(job)
                                 inline_fallbacks += 1
                             continue
                         for index, payload in packed:
@@ -410,7 +297,7 @@ def run_batch(
                             except Exception:
                                 # damaged transport for one job: fall
                                 # back for that job alone
-                                computed[index] = _run_job(jobs[index])
+                                computed[index] = run_cold(jobs[index])
                                 inline_fallbacks += 1
                                 continue
                             computed[index] = {
@@ -424,45 +311,25 @@ def run_batch(
                             }
                 pending = []
         for index in pending:
-            computed[index] = _run_job(jobs[index])
-        by_key = {prepared[index][3]: computed[index] for index in unique}
+            computed[index] = run_cold(jobs[index])
+        by_key = {prepared[index].key: computed[index] for index in unique}
 
         stored: set[str] = set()
         for index in misses:
-            job, program, analysis, key = prepared[index]
-            payload = by_key[key]
-            outcomes[index] = JobOutcome(
-                job=job,
-                result=wrap_fixpoint(analysis, payload["fp"], program, job.config.language),
-                key=key,
-                cached=False,
-                seconds=payload["seconds"],
-                stats=payload["stats"],
-                worker_pid=payload["pid"],
+            cell = prepared[index]
+            first_for_key = cell.key not in stored
+            stored.add(cell.key)
+            outcomes[index] = complete(
+                cell,
+                by_key[cell.key],
+                cache=cache if use_cache else None,
+                store=first_for_key,
             )
-            if cache is not None and use_cache and key not in stored:
-                stored.add(key)
-                object_blob = payload.get("object_blob")
-                if object_blob is not None:
-                    # pooled result: the worker already pickled the
-                    # on-disk payload shapes; write the bytes through
-                    records_blob = payload.get("records_blob")
-                    cache.put_payload(
-                        program,
-                        job.config,
-                        object_blob,
-                        zlib.decompress(records_blob) if records_blob else None,
-                        seconds=payload["seconds"],
-                    )
-                else:
-                    cache.put(
-                        program,
-                        job.config,
-                        payload["fp"],
-                        records=payload["records"],
-                        seconds=payload["seconds"],
-                    )
 
+    if cache is not None and use_cache:
+        # the lifetime counters (and per-entry hit recency) must survive
+        # hit-only invocations too, not just ones that put
+        cache.flush_stats()
     return BatchReport(
         outcomes=[outcome for outcome in outcomes if outcome is not None],
         workers=workers,

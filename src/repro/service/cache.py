@@ -32,6 +32,7 @@ import hashlib
 import json
 import pickle
 import sys
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -190,11 +191,25 @@ class FixpointCache:
 
     Concurrency contract: hits are read-only (per-entry hit counters and
     recency live in memory and reach disk with the next ``put``), so any
-    number of concurrent *readers* share a directory safely.  Concurrent
-    *writers* are unsupported: the index is rewritten whole on ``put``,
-    so two simultaneously-writing processes race last-writer-wins (the
-    batch runner keeps all writes in one parent process for exactly this
+    number of concurrent *readers* share a directory safely.  Within one
+    process, concurrent writers (the analysis server's worker threads)
+    are serialized through an internal lock -- the index rewrite and the
+    write-then-rename of payloads happen under it.  Concurrent writers in
+    *separate processes* remain unsupported: the index is rewritten whole
+    on ``put``, so two simultaneously-writing processes race
+    last-writer-wins (the batch runner keeps all writes in one parent
+    process, and the server owns its cache directory, for exactly this
     reason).
+
+    Counter lifetimes: ``hits``/``misses``/``evictions``/``stores`` count
+    *this instance's* traffic (a CLI invocation, one server process).
+    The cumulative counters across every instance that ever wrote this
+    directory persist in the index document and surface as the
+    ``lifetime`` block of :meth:`stats` -- so a cache directory's history
+    survives process exits instead of resetting with each invocation.
+    They reach disk with every index write; a host that serves reads
+    without writing (a hit-only server session) flushes them explicitly
+    via :meth:`flush_stats` (the server's graceful shutdown does).
     """
 
     root: Path
@@ -204,11 +219,17 @@ class FixpointCache:
     evictions: int = 0
     stores: int = 0
     _index: dict = field(default_factory=dict, repr=False)
+    _base_stats: dict = field(default_factory=dict, repr=False)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         self.root = Path(self.root)
         self.objects_dir.mkdir(parents=True, exist_ok=True)
-        self._index = self._read_index()
+        document = self._read_document()
+        self._index = document["entries"]
+        self._base_stats = document["stats"]
 
     # -- paths & index -----------------------------------------------------
 
@@ -222,9 +243,10 @@ class FixpointCache:
         """Where the pickled fixpoints live."""
         return self.root / "objects"
 
-    def _read_index(self) -> dict:
+    def _read_document(self) -> dict:
+        empty = {"entries": {}, "stats": {}}
         if not self.index_path.exists():
-            return {}
+            return empty
         try:
             with open(self.index_path) as handle:
                 document = json.load(handle)
@@ -233,16 +255,21 @@ class FixpointCache:
             # a damaged index likewise degrades to an empty cache (the
             # orphaned object files are simply overwritten by future
             # puts of the same content address)
-            return {}
+            return empty
         if not isinstance(document, dict):
-            return {}
+            return empty
         entries = document.get("entries", {})
-        return entries if isinstance(entries, dict) else {}
+        stats = document.get("stats", {})
+        return {
+            "entries": entries if isinstance(entries, dict) else {},
+            "stats": stats if isinstance(stats, dict) else {},
+        }
 
     def _write_index(self) -> None:
         document = {
             "schema": f"fixpoint-cache/{PAYLOAD_SCHEMA}",
             "entries": self._index,
+            "stats": self._lifetime_stats(),
         }
         tmp = self.index_path.with_suffix(".json.tmp")
         tmp.write_text(render_json(document))
@@ -345,36 +372,37 @@ class FixpointCache:
         path = self._object_path(key)
         records_path = self._records_path(key)
         ensure_deep_pickle()
-        # write-then-rename, like the index: a process killed mid-write
-        # must never leave a truncated pickle behind a valid index entry
-        tmp = path.with_suffix(".pkl.tmp")
-        with open(tmp, "wb") as handle:
-            pickle.dump({"schema": PAYLOAD_SCHEMA, "fp": fp}, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        tmp.replace(path)
-        if records:
-            # the program rides along so warm-start donor eligibility can
-            # be decided against the actual term (see CachedFixpoint)
-            sidecar = {"records": dict(records), "program": program}
-            tmp = records_path.with_suffix(".pkl.tmp")
+        with self._lock:
+            # write-then-rename, like the index: a process killed mid-write
+            # must never leave a truncated pickle behind a valid index entry
+            tmp = path.with_suffix(".pkl.tmp")
             with open(tmp, "wb") as handle:
-                pickle.dump(sidecar, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            tmp.replace(records_path)
-        else:
-            records_path.unlink(missing_ok=True)
-        now = self._now()
-        self._index[key] = {
-            "program_digest": program_digest(program),
-            "config_key": config.cache_key(),
-            "created": now,
-            "last_used": now,
-            "hits": 0,
-            "size_bytes": path.stat().st_size,
-            "has_records": bool(records),
-            "seconds": round(seconds, 6) if seconds is not None else None,
-        }
-        self.stores += 1
-        self._evict_over_budget()
-        self._write_index()
+                pickle.dump({"schema": PAYLOAD_SCHEMA, "fp": fp}, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            tmp.replace(path)
+            if records:
+                # the program rides along so warm-start donor eligibility can
+                # be decided against the actual term (see CachedFixpoint)
+                sidecar = {"records": dict(records), "program": program}
+                tmp = records_path.with_suffix(".pkl.tmp")
+                with open(tmp, "wb") as handle:
+                    pickle.dump(sidecar, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                tmp.replace(records_path)
+            else:
+                records_path.unlink(missing_ok=True)
+            now = self._now()
+            self._index[key] = {
+                "program_digest": program_digest(program),
+                "config_key": config.cache_key(),
+                "created": now,
+                "last_used": now,
+                "hits": 0,
+                "size_bytes": path.stat().st_size,
+                "has_records": bool(records),
+                "seconds": round(seconds, 6) if seconds is not None else None,
+            }
+            self.stores += 1
+            self._evict_over_budget()
+            self._write_index()
         return key
 
     def put_payload(
@@ -400,29 +428,30 @@ class FixpointCache:
         key = cache_key(program, config)
         path = self._object_path(key)
         records_path = self._records_path(key)
-        tmp = path.with_suffix(".pkl.tmp")
-        tmp.write_bytes(object_blob)
-        tmp.replace(path)
-        if records_blob is not None:
-            tmp = records_path.with_suffix(".pkl.tmp")
-            tmp.write_bytes(records_blob)
-            tmp.replace(records_path)
-        else:
-            records_path.unlink(missing_ok=True)
-        now = self._now()
-        self._index[key] = {
-            "program_digest": program_digest(program),
-            "config_key": config.cache_key(),
-            "created": now,
-            "last_used": now,
-            "hits": 0,
-            "size_bytes": path.stat().st_size,
-            "has_records": records_blob is not None,
-            "seconds": round(seconds, 6) if seconds is not None else None,
-        }
-        self.stores += 1
-        self._evict_over_budget()
-        self._write_index()
+        with self._lock:
+            tmp = path.with_suffix(".pkl.tmp")
+            tmp.write_bytes(object_blob)
+            tmp.replace(path)
+            if records_blob is not None:
+                tmp = records_path.with_suffix(".pkl.tmp")
+                tmp.write_bytes(records_blob)
+                tmp.replace(records_path)
+            else:
+                records_path.unlink(missing_ok=True)
+            now = self._now()
+            self._index[key] = {
+                "program_digest": program_digest(program),
+                "config_key": config.cache_key(),
+                "created": now,
+                "last_used": now,
+                "hits": 0,
+                "size_bytes": path.stat().st_size,
+                "has_records": records_blob is not None,
+                "seconds": round(seconds, 6) if seconds is not None else None,
+            }
+            self.stores += 1
+            self._evict_over_budget()
+            self._write_index()
         return key
 
     def latest_for(self, config: AnalysisConfig) -> CachedFixpoint | None:
@@ -454,14 +483,45 @@ class FixpointCache:
     # -- bookkeeping -------------------------------------------------------
 
     def stats(self) -> dict:
-        """Hit/miss/evict/store counters plus the current entry count."""
+        """Hit/miss/evict/store counters plus the current entry count.
+
+        The top-level counters are this instance's (one process's)
+        traffic -- unchanged shape, so batch reports stay comparable.
+        ``lifetime`` adds the cumulative counters across every instance
+        that ever wrote this directory (persisted in the index; see the
+        class docstring): one counter source whether the numbers are
+        read from a ``BatchReport``, the server's ``stats`` method, or a
+        later CLI invocation over the same cache directory.
+        """
         return {
             "entries": len(self._index),
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
             "stores": self.stores,
+            "lifetime": self._lifetime_stats(),
         }
+
+    def _lifetime_stats(self) -> dict:
+        """Session counters folded onto the persisted base counters."""
+        base = self._base_stats
+        return {
+            "hits": base.get("hits", 0) + self.hits,
+            "misses": base.get("misses", 0) + self.misses,
+            "evictions": base.get("evictions", 0) + self.evictions,
+            "stores": base.get("stores", 0) + self.stores,
+        }
+
+    def flush_stats(self) -> None:
+        """Persist the lifetime counters (and per-entry recency) now.
+
+        ``put`` already writes the index; this is for sessions that only
+        *read* (a hit-serving server, a cache-hot batch): without it their
+        hits would evaporate with the process.  The server's graceful
+        shutdown calls this; ``run_batch`` does too when it used a cache.
+        """
+        with self._lock:
+            self._write_index()
 
     def _forget(self, key: str) -> None:
         """Drop an unusable entry from the in-memory index only.

@@ -25,6 +25,14 @@ incremental pipeline over the fixpoint cache:
    written back, so the *next* edit warm-starts from this one: a chain
    of edits stays warm end to end.
 
+The pipeline itself lives in :func:`repro.service.jobs.dispatch` -- the
+same tier cascade the batch runner, the CLI, and the resident server
+run -- and this module is its incremental-facing entry: it accepts an
+*already-parsed* program plus an optional explicit donor, and reports
+provenance in the historical ``cache-hit``/``warm``/``cold`` vocabulary
+(the server's hot/disk tier split both collapse to ``cache-hit`` here:
+either way the digest matched and zero evaluations ran).
+
 Soundness and exactness contract (also on
 :class:`~repro.core.fixpoint.WarmStart`): the warm result equals the
 cold fixed point whenever the donor's store lies at or below the edited
@@ -45,69 +53,15 @@ import time
 from dataclasses import dataclass
 from typing import Any
 
-from repro.config import AnalysisConfig, assemble
-from repro.core.fixpoint import FixpointCapture
-from repro.service.cache import CachedFixpoint, FixpointCache, cache_key
-from repro.util.intern import decompose
-
-
-def warmable(config: AnalysisConfig) -> bool:
-    """Whether a configuration's runs can capture and replay evaluations.
-
-    Warm starts live on the dependency-tracked engine (replayed
-    configurations are re-triggered through the dependency map) and do
-    not compose with abstract GC or counting, whose per-evaluation sweep
-    and post-convergence saturation an evaluation record cannot replay
-    (see :func:`repro.core.fixpoint.global_store_explore`).  The sharded
-    worklist is excluded too: its overlay write sets omit no-growth
-    binds (the versioned ``bind`` early-returns before the private map
-    sees them), so captured records would under-approximate the live
-    writes that warm restriction depends on.  Every other preset still
-    gets path 1 (digest hits) of :func:`reanalyse`.
-    """
-    return (
-        config.engine == "depgraph"
-        and not config.gc
-        and not config.counting
-        and config.parallelism == "none"
-    )
-
-
-def iter_subvalues(value: Any):
-    """Every structural sub-value of a term, itself included (iterative).
-
-    Language-agnostic: walks whatever the shared
-    :func:`repro.util.intern.decompose` recognizes (dataclass fields,
-    tuples, sets, mappings), so subterm checks can never diverge from
-    content digesting or rehydration.  Shared (interned) sub-terms are
-    visited once.
-    """
-    seen: set[int] = set()
-    stack = [value]
-    while stack:
-        node = stack.pop()
-        if id(node) in seen:
-            continue
-        seen.add(id(node))
-        yield node
-        _kind, children = decompose(node)
-        stack.extend(children)
-
-
-def contains_subterm(program: Any, candidate: Any) -> bool:
-    """Whether ``candidate`` occurs verbatim (pointer-equal) inside ``program``.
-
-    The donor-eligibility test behind automatic warm starts: when the
-    old program is an *exact interned subterm* of the new one, the edit
-    is an extension -- the old program is closed, so nothing the new
-    wrapper binds can flow into its cells, its internal contexts (hence
-    addresses and values) re-arise unchanged after at most ``k`` steps,
-    and the seeded store therefore lies below the new fixed point: the
-    warm result is exactly the cold one.  A sibling edit (shared pieces,
-    different surroundings) offers no such guarantee -- shared addresses
-    can carry donor-only values -- so it must re-run cold.
-    """
-    return any(node is candidate for node in iter_subvalues(program))
+from repro.config import AnalysisConfig
+from repro.service.cache import CachedFixpoint, FixpointCache
+from repro.service.jobs import (  # noqa: F401  (historical import surface)
+    contains_subterm,
+    dispatch,
+    iter_subvalues,
+    warmable,
+    wrap_fixpoint,
+)
 
 
 def edit_distance(old_program: Any, new_program: Any) -> dict:
@@ -151,18 +105,6 @@ class Reanalysis:
         return self.result.fp
 
 
-def wrap_fixpoint(analysis: Any, fp: Any, program: Any, language: str) -> Any:
-    """Wrap a bare fixed point in the language's result type.
-
-    The one home of the FJ-vs-others ``wrap_result`` signature split
-    (FJ results carry the program for its class table); the batch runner
-    routes through here too.
-    """
-    if language == "fj":
-        return analysis.wrap_result(fp, program)
-    return analysis.wrap_result(fp)
-
-
 def reanalyse(
     config: AnalysisConfig,
     program: Any,
@@ -191,59 +133,18 @@ def reanalyse(
     inexact fixed point as a digest hit).  ``allow_warm=False`` forces
     path 1-or-3.
     """
-    config = config.validated()
     started = time.perf_counter()
-    cached = cache.get(program, config, with_records=False)
-    if cached is not None:
-        analysis = assemble(config, program=program)
-        return Reanalysis(
-            result=wrap_fixpoint(analysis, cached.fp, program, config.language),
-            mode="cache-hit",
-            seconds=time.perf_counter() - started,
-            key=cached.key,
-            stats={"evaluations": 0},
-        )
-
-    analysis = assemble(config, program=program)
-    capture = FixpointCapture() if warmable(config) else None
-    warm_start = None
-    gate_bypassed = donor is not None
-    if allow_warm and warmable(config):
-        if donor is None:
-            candidate = cache.latest_for(config)
-            if (
-                candidate is not None
-                and candidate.warmable
-                and candidate.program is not None
-                and contains_subterm(program, candidate.program)
-            ):
-                donor = candidate
-        if donor is not None and donor.warmable:
-            warm_start = donor.warm_start()
-
-    result = analysis.run(
-        program,
-        worklist=not config.shared,
-        warm_start=warm_start,
-        capture=capture,
+    outcome = dispatch(
+        config=config,
+        program=program,
+        cache=cache,
+        allow_warm=allow_warm,
+        donor=donor,
     )
-    if warm_start is not None and gate_bypassed:
-        # a gate-bypassing donor may have produced a (sound) over-
-        # approximation; caching it under the program's digest would let
-        # later gate-respecting callers receive it as an exact cache hit
-        key = cache_key(program, config)
-    else:
-        key = cache.put(
-            program,
-            config,
-            result.fp,
-            records=dict(capture.records) if capture is not None else None,
-            seconds=time.perf_counter() - started,
-        )
     return Reanalysis(
-        result=result,
-        mode="warm" if warm_start is not None else "cold",
+        result=outcome.result,
+        mode={"hot": "cache-hit", "disk": "cache-hit"}.get(outcome.tier, outcome.tier),
         seconds=time.perf_counter() - started,
-        key=key,
-        stats=dict(analysis.last_stats),
+        key=outcome.key,
+        stats=dict(outcome.stats),
     )

@@ -191,6 +191,25 @@ def clear_intern_pool() -> None:
     _POOL.clear()
 
 
+def maybe_clear_intern_pool(limit: int | None) -> bool:
+    """Clear the pool iff it holds more than ``limit`` canonical values.
+
+    The lifecycle hook for resident hosts (the analysis server): the pool
+    grows monotonically with every distinct program a long-lived process
+    parses, so a daemon serving unbounded traffic periodically bounds it
+    here instead of leaking.  Returns whether a clear happened, so the
+    caller can invalidate anything that assumed canonical identity -- the
+    server drops its hot fixpoint tier in the same breath (structural
+    equality would still hold across the boundary, but the identity fast
+    path, the whole point of the hot tier, would not).  ``limit`` of
+    ``None`` or ``0`` means unbounded: never clear.
+    """
+    if not limit or len(_POOL) <= limit:
+        return False
+    _POOL.clear()
+    return True
+
+
 # ---------------------------------------------------------------------------
 # Rehydration: canonicalizing unpickled value graphs
 # ---------------------------------------------------------------------------

@@ -1,0 +1,127 @@
+"""Golden wire-protocol tests: every RPC method's bytes, pinned.
+
+One scripted connection drives a freshly started server through every
+method and every typed error shape -- success responses, ``parse-error``
+for non-JSON, ``invalid-request`` for mis-shaped JSON,
+``method-not-found``, ``invalid-params`` for a bad preset and a source
+that does not parse, and the deterministic zero-budget ``timeout``.
+Each exchange's response (with the declared-volatile fields masked --
+timings, pid, interning counters; see
+:data:`serve_helpers.GOLDEN_MASK`) must equal its fixture in
+``tests/golden/serve/``, byte for byte after JSON normalization.
+
+The script's *order* is part of the fixture contract: the ``stats``
+golden pins the exact request/error/tier counters the preceding
+exchanges produced, which is what makes the metrics discipline
+(count requests at receipt, tiers at completion, nothing from orphaned
+jobs) an enforced property rather than a comment.
+
+Regenerate after an intentional protocol change with::
+
+    REGEN_SERVE_GOLDENS=1 python -m pytest tests/test_serve_protocol.py
+
+and review the fixture diff like any other code change.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+from serve_helpers import RawConnection, masked
+
+from repro.serve.server import ServerHandle
+
+GOLDEN_DIR = Path(__file__).parent / "golden" / "serve"
+REGEN = os.environ.get("REGEN_SERVE_GOLDENS") == "1"
+
+#: The full scripted conversation: (fixture name, raw request line).
+#: Raw strings, not dicts -- the protocol layer's parsing is under test.
+SCRIPT = [
+    ("ping", '{"id": 1, "method": "ping"}'),
+    ("error_method_not_found", '{"id": 2, "method": "transmogrify"}'),
+    ("error_parse_error", "{"),
+    ("error_invalid_request", "[1, 2, 3]"),
+    (
+        "error_bad_preset",
+        '{"id": 5, "method": "analyse", "params": {"language": "cps", '
+        '"corpus": "mj09", "preset": "9cfa-quantum"}}',
+    ),
+    (
+        "error_parse_failure",
+        '{"id": 6, "method": "analyse", "params": {"language": "lam", '
+        '"source": "((("}}',
+    ),
+    (
+        "error_timeout",
+        '{"id": 7, "method": "analyse", "params": {"language": "cps", '
+        '"corpus": "mj09", "preset": "1cfa", "timeout": 0}}',
+    ),
+    (
+        "analyse_cold",
+        '{"id": 8, "method": "analyse", "params": {"language": "cps", '
+        '"corpus": "mj09", "preset": "1cfa", "label": "cps/mj09/1cfa"}}',
+    ),
+    (
+        "analyse_hot",
+        '{"id": 9, "method": "analyse", "params": {"language": "cps", '
+        '"corpus": "mj09", "preset": "1cfa", "label": "cps/mj09/1cfa"}}',
+    ),
+    (
+        "reanalyse_hit",
+        '{"id": 10, "method": "reanalyse", "params": {"language": "cps", '
+        '"corpus": "mj09", "preset": "1cfa", "label": "cps/mj09/1cfa"}}',
+    ),
+    (
+        "batch",
+        '{"id": 11, "method": "batch", "params": {"jobs": ['
+        '{"language": "lam", "corpus": "eta", "preset": "0cfa", '
+        '"label": "lam/eta/0cfa"}, '
+        '{"language": "lam", "corpus": "eta", "preset": "0cfa", '
+        '"label": "lam/eta/0cfa"}]}}',
+    ),
+    ("stats", '{"id": 12, "method": "stats"}'),
+    ("shutdown", '{"id": 13, "method": "shutdown"}'),
+]
+
+
+@pytest.fixture(scope="module")
+def exchanges():
+    """Run the whole script against one fresh server, in order."""
+    import tempfile
+
+    responses = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        with ServerHandle(cache_dir=os.path.join(tmp, "cache"), workers=2) as handle:
+            with RawConnection(handle.port) as raw:
+                for name, line in SCRIPT:
+                    responses[name] = masked(raw.exchange(line))
+    if REGEN:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        for name, line in SCRIPT:
+            fixture = {"send": line, "response": responses[name]}
+            path = GOLDEN_DIR / f"{name}.json"
+            path.write_text(json.dumps(fixture, indent=2, sort_keys=True) + "\n")
+    return responses
+
+
+@pytest.mark.parametrize("name", [name for name, _line in SCRIPT])
+def test_exchange_matches_golden(exchanges, name):
+    path = GOLDEN_DIR / f"{name}.json"
+    assert path.exists(), (
+        f"no golden fixture {path.name}; regenerate with "
+        "REGEN_SERVE_GOLDENS=1 python -m pytest tests/test_serve_protocol.py"
+    )
+    fixture = json.loads(path.read_text())
+    send = dict(SCRIPT)[name]
+    assert fixture["send"] == send, f"{name}: script drifted from fixture"
+    assert exchanges[name] == fixture["response"], name
+
+
+def test_script_covers_every_method():
+    """The golden script exercises the full method surface."""
+    from repro.serve.protocol import METHODS
+
+    sent = "\n".join(line for _name, line in SCRIPT)
+    for method in METHODS:
+        assert f'"{method}"' in sent, f"golden script never calls {method}"

@@ -346,6 +346,9 @@ class TestFixpointCache:
             "misses": 1,
             "evictions": 0,
             "stores": 1,
+            # session counters above; lifetime accumulates across
+            # processes through the index document (fresh dir: equal)
+            "lifetime": {"hits": 1, "misses": 1, "evictions": 0, "stores": 1},
         }
 
     def test_rehydrated_loads_are_pool_canonical(self, tmp_path):

@@ -1,0 +1,119 @@
+"""Preset-matrix sweep against a running ``repro serve`` (CI server-smoke job).
+
+Drives every ``preset x language`` cell through the **CLI client** -- one
+``python -m repro client analyse`` subprocess per cell, exactly what a
+user at a shell pays -- against a daemon that the CI job started
+beforehand.  Two modes:
+
+* ``--expect-complete`` (the cold sweep): every cell must succeed and
+  carry a serving tier; first occurrences of a content address must be
+  cache misses (presets that differ only in evaluation strategy share an
+  address, so later cells may legitimately hit).
+* ``--expect-hot`` (the repeat sweep): every cell must be served from
+  the in-memory hot tier with zero evaluations -- the resident server's
+  whole value proposition, asserted corpus-wide.
+
+Exit status is the number of failing cells (0 = clean)::
+
+    python tools/ci_serve_sweep.py --port 7357 --expect-complete
+    python tools/ci_serve_sweep.py --port 7357 --expect-hot
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+
+from repro.config import LANGUAGES, PRESETS
+
+#: One small corpus program per language (the same matrix the serve and
+#: service test suites sweep).
+PROGRAMS = {"cps": "mj09", "lam": "eta", "fj": "animals"}
+
+
+def sweep_cell(port: int, host: str, preset: str, lang: str) -> dict:
+    """One ``repro client analyse`` subprocess; the parsed response row."""
+    argv = [
+        sys.executable,
+        "-m",
+        "repro",
+        "client",
+        "analyse",
+        "--host",
+        host,
+        "--port",
+        str(port),
+        "--lang",
+        lang,
+        "--corpus",
+        PROGRAMS[lang],
+        "--preset",
+        preset,
+    ]
+    completed = subprocess.run(argv, capture_output=True, text=True)
+    if completed.returncode != 0:
+        raise RuntimeError(
+            f"client exited {completed.returncode}: {completed.stderr.strip()}"
+        )
+    return json.loads(completed.stdout)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--expect-complete",
+        action="store_true",
+        help="cold sweep: cells succeed; first sight of a key is a miss",
+    )
+    mode.add_argument(
+        "--expect-hot",
+        action="store_true",
+        help="repeat sweep: every cell tier == hot with 0 evaluations",
+    )
+    args = parser.parse_args(argv)
+
+    failures = 0
+    seen_keys: set[str] = set()
+    tiers: dict[str, int] = {}
+    for preset in sorted(PRESETS):
+        for lang in sorted(LANGUAGES):
+            cell = f"{lang}/{PROGRAMS[lang]}/{preset}"
+            try:
+                row = sweep_cell(args.port, args.host, preset, lang)
+            except (RuntimeError, json.JSONDecodeError) as exc:
+                print(f"FAIL {cell}: {exc}", file=sys.stderr)
+                failures += 1
+                continue
+            tier = row.get("tier")
+            tiers[tier] = tiers.get(tier, 0) + 1
+            if args.expect_hot:
+                if tier != "hot" or row.get("evaluations") != 0:
+                    print(
+                        f"FAIL {cell}: tier={tier} "
+                        f"evaluations={row.get('evaluations')} (expected hot/0)",
+                        file=sys.stderr,
+                    )
+                    failures += 1
+            else:
+                first_sight = row["key"] not in seen_keys
+                seen_keys.add(row["key"])
+                if tier is None or (first_sight and row.get("cache") != "miss"):
+                    print(
+                        f"FAIL {cell}: tier={tier} cache={row.get('cache')} "
+                        "(first sight of this key must be a miss)",
+                        file=sys.stderr,
+                    )
+                    failures += 1
+    total = len(PRESETS) * len(LANGUAGES)
+    label = "hot" if args.expect_hot else "cold"
+    print(f"{label} sweep: {total - failures}/{total} cells ok, tiers {tiers}")
+    return failures
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
