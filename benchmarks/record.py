@@ -27,15 +27,24 @@ the same code the ``repro batch`` CLI runs.
 The JSON shape (see PERFORMANCE.md for how to read it)::
 
     {
-      "schema": "engine-suite/5",
+      "schema": "engine-suite/6",
       "workloads": {
         "<workload>": {
           "<engine>/<store_impl>": {            # generic transition
             "seconds": float,
-            "evaluations": int, "retriggers": int, "configurations": int
+            "evaluations": int, "retriggers": int, "dedup_hits": int,
+            "configurations": int
           },
           "<engine>/<store_impl>/fused": {...}, # staged transition
           ...
+        }, ...
+      },
+      "schedule": {
+        "<workload>": {                         # fifo vs priority drain
+          "engine": "worklist" | "depgraph", "gated": bool,
+          "fifo":     {"seconds", "evaluations", "dedup_hits", "max_rank"},
+          "priority": {"seconds", "evaluations", "dedup_hits", "max_rank"},
+          "eval_reduction": float               # fifo evals / priority evals
         }, ...
       },
       "speedups": {
@@ -80,11 +89,18 @@ evaluations cannot overlap under a GIL; skipped with a notice
 otherwise (the fixed-point *equality* is asserted unconditionally) --
 (f) warm-starting the one-edit chain workload is less than
 ``--min-warm-speedup`` (default 5.0) times faster than re-analysing it
-cold, or (g) a repeat request through the resident server's hot tier is
+cold, (g) a repeat request through the resident server's hot tier is
 less than ``--min-serve-speedup`` (default 20.0) times faster than a
 cold ``repro analyze`` CLI invocation of the same cell -- the whole
 point of keeping an engine resident is amortizing interpreter start-up,
-imports, and the analysis itself, so this gate holds on any hardware.
+imports, and the analysis itself, so this gate holds on any hardware --
+or (h) the priority schedule fails its evaluation-count contract: on
+the gated chain/loop cells of the dependency-blind engine it must
+evaluate at least ``--min-eval-reduction`` (default 1.5) times fewer
+configurations than FIFO, and on *every* schedule cell it must never
+evaluate more than :data:`_SCHEDULE_NEVER_WORSE` times FIFO's count.
+Evaluation counts, unlike seconds, are hardware-independent, so this
+gate never needs a skip condition.
 """
 
 from __future__ import annotations
@@ -211,6 +227,102 @@ def _workloads() -> dict:
 def _row_key(engine: str, impl: str, transition: str) -> str:
     key = f"{engine}/{impl}"
     return key if transition == "generic" else f"{key}/{transition}"
+
+
+#: Priority may never evaluate more than this multiple of FIFO's count
+#: on any schedule cell (PYTHONHASHSEED moves FIFO's exact counts a few
+#: per cent between runs; a real scheduling regression is far larger).
+_SCHEDULE_NEVER_WORSE = 1.05
+
+
+def _schedule_workloads() -> tuple:
+    """The fifo-vs-priority comparison cells.
+
+    The ``gated`` cells run the dependency-*blind* worklist engine on
+    chain- and loop-shaped workloads -- the shape the rank order exists
+    for, where FIFO re-evaluates once per growth wave and priority once
+    per stable input -- and must clear ``--min-eval-reduction``.  The
+    depgraph cells are ungated on the reduction (the dependency map
+    already suppresses most wasted work, so priority is only neutral to
+    modestly better there) but still bound by the never-worse check.
+    """
+    chain30 = id_chain(30)
+    chain200 = id_chain(200)
+    church = LAM_PROGRAMS["church-two-two"]
+    visitor = FJ_PROGRAMS["visitor"]
+    return (
+        # (label, language, program, engine, gated)
+        ("cps-id-chain-30-k1", "cps", chain30, "worklist", True),
+        ("cps-id-chain-200-k1", "cps", chain200, "worklist", True),
+        ("lam-church-two-two-k1", "lam", church, "worklist", True),
+        ("fj-visitor-k1", "fj", visitor, "worklist", True),
+        ("cps-id-chain-200-k1-depgraph", "cps", chain200, "depgraph", False),
+        ("lam-church-two-two-k1-depgraph", "lam", church, "depgraph", False),
+    )
+
+
+def run_schedule_suite() -> dict:
+    """Time fifo vs priority drains, asserting bit-identical fixed points.
+
+    Every cell runs the fused transition over the versioned store --
+    only the engine (blind vs dependency-tracked) and the ``schedule``
+    axis vary, so ``eval_reduction`` isolates exactly what the drain
+    order buys.
+    """
+    suite: dict = {}
+    for label, language, program, engine, gated in _schedule_workloads():
+        cells: dict = {}
+        fps: dict = {}
+        for schedule in ("fifo", "priority"):
+            config = AnalysisConfig(
+                language=language,
+                k=1,
+                engine=engine,
+                store_impl="versioned",
+                transition="fused",
+                schedule=schedule,
+                label=f"bench-schedule-{label}-{schedule}",
+            )
+            stats: dict = {}
+
+            def run(_engine, _impl, _transition, stats, config=config):
+                analysis = assemble(config, program=program)
+                result = analysis.run(program)
+                stats.update(analysis.last_stats)
+                return result
+
+            best = None
+            for _ in range(_MAX_REPS):
+                stats.clear()
+                start = time.perf_counter()
+                result = run(None, None, None, stats)
+                seconds = time.perf_counter() - start
+                best = seconds if best is None else min(best, seconds)
+                if best >= _REPEAT_UNDER_SECONDS:
+                    break
+            fps[schedule] = result.fp
+            cells[schedule] = {
+                "seconds": round(best, 6),
+                "evaluations": stats.get("evaluations"),
+                "dedup_hits": stats.get("dedup_hits"),
+                "max_rank": stats.get("max_rank"),
+            }
+        assert fps["priority"] == fps["fifo"], f"schedule fp mismatch on {label}"
+        reduction = cells["fifo"]["evaluations"] / cells["priority"]["evaluations"]
+        suite[label] = {
+            "engine": engine,
+            "gated": gated,
+            "fifo": cells["fifo"],
+            "priority": cells["priority"],
+            "eval_reduction": round(reduction, 2),
+        }
+        print(
+            f"{label:28s} {engine:>8s} schedule fifo {cells['fifo']['evaluations']:6d} "
+            f"-> priority {cells['priority']['evaluations']:6d} evals "
+            f"({reduction:5.2f}x fewer{', gated' if gated else ''})",
+            file=sys.stderr,
+        )
+    return suite
 
 
 #: The one-edit warm-start workload: chain length for ``id_chain``.
@@ -522,7 +634,7 @@ def run_service_suite() -> dict:
 
 def run_suite() -> dict:
     record: dict = {
-        "schema": "engine-suite/5",
+        "schema": "engine-suite/6",
         "python": sys.version.split()[0],
         "workloads": {},
         "speedups": {},
@@ -538,6 +650,7 @@ def run_suite() -> dict:
                 "seconds": round(seconds, 6),
                 "evaluations": stats.get("evaluations"),
                 "retriggers": stats.get("retriggers"),
+                "dedup_hits": stats.get("dedup_hits"),
                 "configurations": stats.get("configurations"),
             }
             print(
@@ -559,6 +672,7 @@ def run_suite() -> dict:
                 fast["seconds"] / fused["seconds"], 2
             )
         record["speedups"][label] = speedups
+    record["schedule"] = run_schedule_suite()
     record["service"] = run_service_suite()
     return record
 
@@ -572,6 +686,7 @@ def check(
     min_engaged_pool_speedup: float = 2.0,
     min_sharded_speedup: float = 1.5,
     min_serve_speedup: float = 20.0,
+    min_eval_reduction: float = 1.5,
 ) -> list[str]:
     """The CI gates.
 
@@ -600,7 +715,13 @@ def check(
     * a hot repeat request through the resident server must beat a cold
       ``repro analyze`` subprocess by ``min_serve_speedup`` -- no skip
       condition: the hot tier is a dictionary lookup and the cold cell
-      pays interpreter start-up, so the margin is enormous everywhere.
+      pays interpreter start-up, so the margin is enormous everywhere;
+    * the priority schedule must reduce evaluation counts by
+      ``min_eval_reduction`` on every *gated* schedule cell (the
+      blind-engine chain/loop workloads), and must never exceed
+      :data:`_SCHEDULE_NEVER_WORSE` times FIFO's count on *any*
+      schedule cell -- counts are hardware-independent, so neither
+      bound ever needs a skip condition.
     """
     failures = []
     for label, speedups in record["speedups"].items():
@@ -673,6 +794,20 @@ def check(
             f"service-serve-latency: hot request only {serve['speedup']:.2f}x over "
             f"a cold CLI run (need >= {min_serve_speedup:.1f}x)"
         )
+    for label, cell in record.get("schedule", {}).items():
+        reduction = cell["eval_reduction"]
+        if cell.get("gated") and reduction < min_eval_reduction:
+            failures.append(
+                f"schedule-{label}: priority only {reduction:.2f}x fewer "
+                f"evaluations than fifo (need >= {min_eval_reduction:.1f}x)"
+            )
+        if reduction * _SCHEDULE_NEVER_WORSE < 1.0:
+            failures.append(
+                f"schedule-{label}: priority evaluated MORE than fifo "
+                f"({cell['priority']['evaluations']} vs "
+                f"{cell['fifo']['evaluations']}; allowed at most "
+                f"{_SCHEDULE_NEVER_WORSE:.2f}x fifo's count)"
+            )
     return failures
 
 
@@ -732,8 +867,11 @@ def main(argv: list[str] | None = None) -> int:
         "pool below --min-pool-speedup over serial at any core count (or below "
         "--min-engaged-pool-speedup when it engaged on enough cores), the "
         "sharded fixpoint below --min-sharded-speedup on >= 4 GIL-free cores, "
-        "the warm start below --min-warm-speedup over cold, or the resident "
-        "server's hot tier below --min-serve-speedup over a cold CLI run",
+        "the warm start below --min-warm-speedup over cold, the resident "
+        "server's hot tier below --min-serve-speedup over a cold CLI run, or "
+        "the priority schedule below --min-eval-reduction on the gated "
+        "chain/loop cells (it must also never beat fifo's evaluation count "
+        "by less than 1/1.05x anywhere)",
     )
     parser.add_argument("--min-speedup", type=float, default=2.0)
     parser.add_argument("--min-fused-speedup", type=float, default=2.0)
@@ -742,6 +880,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-sharded-speedup", type=float, default=1.5)
     parser.add_argument("--min-warm-speedup", type=float, default=5.0)
     parser.add_argument("--min-serve-speedup", type=float, default=20.0)
+    parser.add_argument("--min-eval-reduction", type=float, default=1.5)
     args = parser.parse_args(argv)
 
     output = args.output or next_output_name()
@@ -764,6 +903,7 @@ def main(argv: list[str] | None = None) -> int:
             min_engaged_pool_speedup=args.min_engaged_pool_speedup,
             min_sharded_speedup=args.min_sharded_speedup,
             min_serve_speedup=args.min_serve_speedup,
+            min_eval_reduction=args.min_eval_reduction,
         )
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)

@@ -53,6 +53,11 @@ The fine-grained flags remain, one per degree of freedom:
   against private write overlays, barrier-merged through the versioned
   store (identical fixed points; needs ``--engine depgraph
   --store-impl versioned``; see PERFORMANCE.md, "Parallel fixpoints").
+* ``--schedule`` -- the worklist drain order: ``fifo`` (historical) or
+  ``priority`` (dependency-rank waves -- retriggered configurations
+  re-run once per wave of store growth instead of once per bump;
+  identical fixed points, fewer evaluations on chain/loop shapes; see
+  PERFORMANCE.md, "Worklist scheduling").
 
 Every combination is validated by
 :meth:`repro.config.AnalysisConfig.validated` before anything runs;
@@ -168,6 +173,7 @@ def _resolve_config(args: argparse.Namespace, lang: str):
                 transition=args.transition,
                 parallelism=args.parallelism,
                 shards=args.shards,
+                schedule=args.schedule,
             )
         )
         if args.k is not None:
@@ -192,6 +198,7 @@ def _resolve_config(args: argparse.Namespace, lang: str):
         transition=args.transition or "generic",
         parallelism=args.parallelism or "none",
         shards=1 if args.shards is None else args.shards,
+        schedule=args.schedule or "fifo",
         label=args.preset or "",
     )
     return _assemble(config.validated)
@@ -270,7 +277,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         print(
             f"engine: {config.engine} ({config.store_impl}{fused})  "
             f"evaluations: {stats.get('evaluations', '-')}  "
-            f"retriggers: {stats.get('retriggers', '-')}"
+            f"retriggers: {stats.get('retriggers', '-')}  "
+            f"dedup: {stats.get('dedup_hits', '-')}"
         )
     if cache is not None:
         print(f"cache: {'hit' if outcome.cached else 'miss'} ({outcome.tier})")
@@ -529,6 +537,16 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="worker count for --parallelism sharded",
+    )
+    an_p.add_argument(
+        "--schedule",
+        choices=("fifo", "priority"),
+        default=None,
+        help="worklist drain order: fifo (historical), or priority -- "
+        "dependency-rank waves that re-run a retriggered configuration "
+        "once per wave of store growth instead of once per bump -- "
+        "identical fixed points, fewer evaluations on chain/loop shapes "
+        "(needs --engine worklist|depgraph)",
     )
     an_p.add_argument("--shared", action="store_true", help="single-threaded store")
     an_p.add_argument("--gc", action="store_true", help="abstract garbage collection")

@@ -61,6 +61,7 @@ from repro.core.addresses import (
 )
 from repro.core.driver import prepare_engine_store
 from repro.core.fixpoint import ENGINES, STORE_IMPLS
+from repro.core.schedule import SCHEDULES
 from repro.core.store import ACounter, BasicStore, CountingStore, StoreLike
 
 #: The languages an :class:`AnalysisConfig` can target.
@@ -112,6 +113,7 @@ class AnalysisConfig:
     transition: str = "generic"
     parallelism: str = "none"
     shards: int = 1
+    schedule: str = "fifo"
     label: str = ""
 
     @property
@@ -204,6 +206,20 @@ class AnalysisConfig:
                     "or counting: the per-evaluation sweep and the "
                     "count-saturation pass are sequential engine effects"
                 )
+        if config.schedule not in SCHEDULES:
+            raise ValueError(
+                f"unknown schedule {config.schedule!r}; "
+                f"choose one of {SCHEDULES}"
+            )
+        if config.schedule != "fifo" and config.engine not in (
+            "worklist",
+            "depgraph",
+        ):
+            raise ValueError(
+                "schedule orders the worklist drain; schedule='priority' "
+                "needs engine='worklist' or engine='depgraph' (kleene and "
+                "per-state runs have no worklist to order)"
+            )
         return config
 
     def cache_key(self) -> str:
@@ -212,11 +228,12 @@ class AnalysisConfig:
         Every semantics-bearing field appears as ``name=value`` in sorted
         field order; ``label`` is excluded -- it is presentation only, and
         a preset must share cache entries with the identical hand-built
-        configuration.  ``parallelism``/``shards`` are excluded for the
-        same reason: the sharded worklist computes the bit-identical
-        fixed point (pinned corpus-wide by ``tests/test_parallel.py``),
-        so a sharded run must share cache entries with the sequential
-        configuration it equals.  The fixpoint cache
+        configuration.  ``parallelism``/``shards``/``schedule`` are
+        excluded for the same reason: the sharded worklist and the
+        priority drain order compute the bit-identical fixed point
+        (pinned corpus-wide by ``tests/test_parallel.py`` and
+        ``tests/test_schedule.py``), so those runs must share cache
+        entries with the sequential fifo configuration they equal.  The fixpoint cache
         (:mod:`repro.service.cache`) keys entries by this string joined
         with the program's structural digest, so the key must change
         exactly when the fixed point may.
@@ -248,6 +265,8 @@ class AnalysisConfig:
             parts.append(self.transition)
         if self.parallelism != "none":
             parts.append(f"{self.parallelism}({self.shards})")
+        if self.schedule != "fifo":
+            parts.append(self.schedule)
         return " ".join(parts)
 
 
@@ -319,6 +338,26 @@ PRESETS: dict[str, Preset] = {
             transition="fused",
             parallelism="sharded",
             shards=4,
+        ),
+        _preset(
+            "1cfa-priority",
+            "1-CFA on the rank-ordered priority worklist (fewest evaluations)",
+            k=1,
+            engine="depgraph",
+            store_impl="versioned",
+            transition="fused",
+            schedule="priority",
+        ),
+        _preset(
+            "1cfa-sharded-priority",
+            "1-CFA sharded worklist with rank-ordered shard slices (4 shards)",
+            k=1,
+            engine="depgraph",
+            store_impl="versioned",
+            transition="fused",
+            parallelism="sharded",
+            shards=4,
+            schedule="priority",
         ),
         _preset(
             "1cfa-gc",
@@ -484,6 +523,7 @@ def build_config(
     transition: str | None = None,
     parallelism: str | None = None,
     shards: int | None = None,
+    schedule: str | None = None,
     label: str = "",
 ) -> AnalysisConfig:
     """The keyword-argument surface of the ``analyse*`` families, as a config.
@@ -520,6 +560,8 @@ def build_config(
             config = config.replace(parallelism=parallelism)
         if shards is not None:
             config = config.replace(shards=shards)
+        if schedule is not None:
+            config = config.replace(schedule=schedule)
         if label:
             config = config.replace(label=label)
         return config.validated()
@@ -538,6 +580,7 @@ def build_config(
         transition=transition or "generic",
         parallelism=parallelism or "none",
         shards=1 if shards is None else shards,
+        schedule=schedule or "fifo",
         label=label,
     ).validated()
 

@@ -121,6 +121,7 @@ def run_engine_analysis(
     max_steps: int = 1_000_000,
     warm_start: Any = None,
     capture: Any = None,
+    trace: list | None = None,
 ) -> tuple:
     """Run an assembled analysis under its configured engine.
 
@@ -132,7 +133,10 @@ def run_engine_analysis(
     re-analysis; see :mod:`repro.service.incremental`).  Analyses
     assembled with ``parallelism="sharded"`` route the versioned
     depgraph path through :mod:`repro.parallel` instead of the
-    sequential loop (identical fixed point).
+    sequential loop (identical fixed point); ``schedule="priority"``
+    drains the worklist in dependency-rank order (same fixed point,
+    fewer evaluations on chain/loop shapes).  ``trace`` collects the
+    sequential evaluation order (see ``global_store_explore``).
     """
     analysis.last_stats = {}
     return run_with_engine(
@@ -146,6 +150,8 @@ def run_engine_analysis(
         capture=capture,
         parallelism=getattr(analysis, "parallelism", "none"),
         shards=getattr(analysis, "shards", 1),
+        schedule=getattr(analysis, "schedule", "fifo"),
+        trace=trace,
     )
 
 
@@ -160,6 +166,8 @@ def run_with_engine(
     capture: Any = None,
     parallelism: str = "none",
     shards: int = 1,
+    schedule: str = "fifo",
+    trace: list | None = None,
 ) -> tuple:
     """Compute the store-widened collecting semantics under a named engine.
 
@@ -191,6 +199,16 @@ def run_with_engine(
             raise ValueError(
                 "the sharded worklist partitions a pending-configuration "
                 "frontier; the kleene engine has none"
+            )
+        if schedule != "fifo":
+            raise ValueError(
+                "schedule orders a worklist drain; the kleene engine "
+                "iterates the whole domain and has no worklist to order"
+            )
+        if trace is not None:
+            raise ValueError(
+                "schedule tracing records worklist pops; the kleene engine "
+                "has no per-configuration evaluation order to trace"
             )
         evaluations = 0
 
@@ -225,6 +243,8 @@ def run_with_engine(
         capture=capture,
         parallelism=parallelism,
         shards=shards,
+        schedule=schedule,
+        trace=trace,
     )
 
 

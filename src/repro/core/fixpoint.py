@@ -102,11 +102,11 @@ saturation set.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Iterable, Mapping
 
 from repro.core.gc import reachable_addresses
+from repro.core.schedule import SCHEDULES, make_worklist
 from repro.core.lattice import Lattice
 from repro.core.store import (
     ACounter,
@@ -399,6 +399,8 @@ def global_store_explore(
     capture: FixpointCapture | None = None,
     parallelism: str = "none",
     shards: int = 1,
+    schedule: str = "fifo",
+    trace: list | None = None,
 ) -> tuple:
     """Worklist evaluation of the store-widened domain ``P(configs) x Store``.
 
@@ -457,7 +459,22 @@ def global_store_explore(
     (``track_deps`` + recording store) and neither composes with abstract
     GC or counting: the GC sweep and the count-saturation pass are
     side-effects an :class:`EvalRecord` replay would silently skip.
+
+    ``schedule`` picks the worklist drain order
+    (:data:`~repro.core.schedule.SCHEDULES`): ``fifo`` is the historical
+    order, ``priority`` drains in ascending dependency rank so store
+    growth flows forward before stale shallow readers re-run.  Any order
+    computes the same least fixed point (chaotic iteration); the
+    schedule only changes *how many* evaluations it takes, reported
+    through the ``evaluations``, ``dedup_hits`` and ``max_rank`` stats.
+    Warm-start replay drains through the same worklist, so clean records
+    replay in rank order under ``priority``.  ``trace``, when supplied,
+    receives one ``(rank, config)`` entry per real (non-replayed)
+    evaluation in evaluation order -- the raw feed behind
+    ``tools/profile_analysis.py --schedule-trace``.
     """
+    if schedule not in SCHEDULES:
+        raise ValueError(f"unknown schedule {schedule!r}; expected one of {SCHEDULES}")
     inner = collecting.inner
     store_like = inner.store_like
     base_store = unwrap_store(store_like)
@@ -506,6 +523,12 @@ def global_store_explore(
                 "evaluation capture: overlay write sets omit no-growth binds, "
                 "so replayed records would under-approximate live writes"
             )
+        if trace is not None:
+            raise TypeError(
+                "schedule tracing is sequential-only: the sharded worklist "
+                "evaluates slices on worker threads, so a global evaluation "
+                "order is not well-defined"
+            )
         from repro.parallel.worklist import sharded_explore
 
         return sharded_explore(
@@ -516,6 +539,7 @@ def global_store_explore(
             shards=shards,
             max_evals=max_evals,
             stats=stats,
+            schedule=schedule,
         )
     if isinstance(base_store, (VersionedStore, VersionedCountingStore)):
         return _versioned_explore(
@@ -529,6 +553,8 @@ def global_store_explore(
             stats=stats,
             warm_start=warm_start,
             capture=capture,
+            schedule=schedule,
+            trace=trace,
         )
     store_lattice = store_like.lattice()
     value_lattice = store_like.value_lattice
@@ -546,8 +572,7 @@ def global_store_explore(
         warm_records = warm_start.records
         live_writes = set(seed_store.keys())
     seen: set = set(seed_configs)
-    worklist: deque = deque(seen)
-    queued: set = set(seen)
+    worklist = make_worklist(schedule, seen)
     deps: dict = {}
     written_all: set = set()
     dirty: set = set()
@@ -556,8 +581,7 @@ def global_store_explore(
     reused = 0
 
     while worklist:
-        config = worklist.popleft()
-        queued.discard(config)
+        config = worklist.pop()
 
         if warm_records is not None:
             record = warm_records.get(config)
@@ -576,8 +600,7 @@ def global_store_explore(
                 for pair in record.successors:
                     if pair not in seen:
                         seen.add(pair)
-                        queued.add(pair)
-                        worklist.append(pair)
+                        worklist.discovered(pair, config)
                 if capture is not None:
                     capture.records[config] = record
                 continue
@@ -587,6 +610,8 @@ def global_store_explore(
             raise FixpointDiverged(
                 f"no fixed point within {max_evals} configuration evaluations"
             )
+        if trace is not None:
+            trace.append((worklist.ranks.get(config, 0), config))
 
         if use_log:
             recorder.begin_log()
@@ -612,8 +637,7 @@ def global_store_explore(
         for pair, _result_store in results:
             if pair not in seen:
                 seen.add(pair)
-                queued.add(pair)
-                worklist.append(pair)
+                worklist.discovered(pair, config)
         if capture is not None:
             capture.records[config] = EvalRecord(
                 reads=reads,
@@ -636,16 +660,12 @@ def global_store_explore(
                 if warm_records is not None:
                     dirty.add(addr)
                 for reader in deps.get(addr, ()):
-                    if reader not in queued:
-                        queued.add(reader)
-                        worklist.append(reader)
+                    if worklist.retrigger(reader):
                         retriggers += 1
         elif not store_lattice.leq(new_store, global_store):
             # dependency-blind: any growth re-enqueues every configuration
             for reader in seen:
-                if reader not in queued:
-                    queued.add(reader)
-                    worklist.append(reader)
+                if worklist.retrigger(reader):
                     retriggers += 1
         global_store = new_store
 
@@ -663,6 +683,9 @@ def global_store_explore(
             configurations=len(seen),
             tracked_addresses=len(deps),
             reused=reused,
+            dedup_hits=worklist.dedup_hits,
+            max_rank=worklist.max_rank,
+            schedule=schedule,
         )
     return (frozenset(seen), global_store)
 
@@ -705,6 +728,8 @@ def _versioned_explore(
     stats: dict | None,
     warm_start: WarmStart | None = None,
     capture: FixpointCapture | None = None,
+    schedule: str = "fifo",
+    trace: list | None = None,
 ) -> tuple:
     """The O(delta) hot loop behind :func:`global_store_explore`.
 
@@ -756,8 +781,7 @@ def _versioned_explore(
         mstore = base_store.thaw(seed_store)
         live_writes = set()
     seen: set = set(seed_configs)
-    worklist: deque = deque(seen)
-    queued: set = set(seen)
+    worklist = make_worklist(schedule, seen)
     deps: dict = {}
     written_all: set = set()
     dirty: set = set(mstore.changed_since(0)) if warm_start is not None else set()
@@ -766,8 +790,7 @@ def _versioned_explore(
     reused = 0
 
     while worklist:
-        config = worklist.popleft()
-        queued.discard(config)
+        config = worklist.pop()
 
         if warm_records is not None:
             record = warm_records.get(config)
@@ -782,8 +805,7 @@ def _versioned_explore(
                 for pair in record.successors:
                     if pair not in seen:
                         seen.add(pair)
-                        queued.add(pair)
-                        worklist.append(pair)
+                        worklist.discovered(pair, config)
                 if capture is not None:
                     capture.records[config] = record
                 continue
@@ -793,6 +815,8 @@ def _versioned_explore(
             raise FixpointDiverged(
                 f"no fixed point within {max_evals} configuration evaluations"
             )
+        if trace is not None:
+            trace.append((worklist.ranks.get(config, 0), config))
 
         mark = mstore.mark()
         run_store = GCOverlay(mstore) if gc_on else mstore
@@ -834,8 +858,7 @@ def _versioned_explore(
         for pair in pairs:
             if pair not in seen:
                 seen.add(pair)
-                queued.add(pair)
-                worklist.append(pair)
+                worklist.discovered(pair, config)
         if capture is not None:
             capture.records[config] = EvalRecord(
                 reads=reads, writes=writes, successors=tuple(dict.fromkeys(pairs))
@@ -849,15 +872,11 @@ def _versioned_explore(
         if track_deps:
             for addr in set(grown):
                 for reader in deps.get(addr, ()):
-                    if reader not in queued:
-                        queued.add(reader)
-                        worklist.append(reader)
+                    if worklist.retrigger(reader):
                         retriggers += 1
         else:
             for reader in seen:
-                if reader not in queued:
-                    queued.add(reader)
-                    worklist.append(reader)
+                if worklist.retrigger(reader):
                     retriggers += 1
 
     if counting:
@@ -874,5 +893,8 @@ def _versioned_explore(
             configurations=len(seen),
             tracked_addresses=len(deps),
             reused=reused,
+            dedup_hits=worklist.dedup_hits,
+            max_rank=worklist.max_rank,
+            schedule=schedule,
         )
     return (frozenset(seen), frozen)

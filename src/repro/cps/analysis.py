@@ -135,6 +135,7 @@ class CPSAnalysis:
     transition: str = "generic"
     parallelism: str = "none"
     shards: int = 1
+    schedule: str = "fifo"
     last_stats: dict = field(default_factory=dict)
 
     def step(self) -> Callable[[PState], Any]:
@@ -151,14 +152,22 @@ class CPSAnalysis:
         max_steps: int = 1_000_000,
         warm_start: Any = None,
         capture: Any = None,
+        trace: list | None = None,
     ):
         initial = inject(program)
         if self.engine is not None:
             fp = run_engine_analysis(
-                self, initial, max_steps=max_steps, warm_start=warm_start, capture=capture
+                self,
+                initial,
+                max_steps=max_steps,
+                warm_start=warm_start,
+                capture=capture,
+                trace=trace,
             )
         elif warm_start is not None or capture is not None:
             raise ValueError("warm starts / capture need an engine-backed analysis")
+        elif trace is not None:
+            raise ValueError("schedule tracing needs an engine-backed analysis")
         elif worklist:
             if self.shared:
                 raise ValueError("worklist evaluation applies to per-state-store domains")
@@ -312,6 +321,7 @@ def assemble_cps(
         transition=config.transition,
         parallelism=config.parallelism,
         shards=config.shards,
+        schedule=config.schedule,
     )
 
 

@@ -168,6 +168,7 @@ class FJAnalysis:
     transition: str = "generic"
     parallelism: str = "none"
     shards: int = 1
+    schedule: str = "fifo"
     last_stats: dict = field(default_factory=dict)
 
     def step(self) -> Callable[[PState], Any]:
@@ -184,14 +185,22 @@ class FJAnalysis:
         max_steps: int = 1_000_000,
         warm_start: Any = None,
         capture: Any = None,
+        trace: list | None = None,
     ):
         initial = inject_fj(program.main)
         if self.engine is not None:
             fp = run_engine_analysis(
-                self, initial, max_steps=max_steps, warm_start=warm_start, capture=capture
+                self,
+                initial,
+                max_steps=max_steps,
+                warm_start=warm_start,
+                capture=capture,
+                trace=trace,
             )
         elif warm_start is not None or capture is not None:
             raise ValueError("warm starts / capture need an engine-backed analysis")
+        elif trace is not None:
+            raise ValueError("schedule tracing needs an engine-backed analysis")
         elif worklist and not self.shared:
             fp = run_analysis_worklist(
                 self.collecting, self.step(), initial, max_states=max_steps
@@ -317,6 +326,7 @@ def assemble_fj_from_config(
         transition=config.transition,
         parallelism=config.parallelism,
         shards=config.shards,
+        schedule=config.schedule,
     )
 
 

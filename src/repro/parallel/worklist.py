@@ -7,7 +7,11 @@ changelog.  :func:`sharded_explore` computes the *same* least fixed
 point in bulk-synchronous rounds:
 
 1. **Partition.** The pending configurations are snapshotted and split
-   round-robin into at most ``shards`` disjoint slices.
+   into at most ``shards`` disjoint slices: round-robin under
+   ``schedule=fifo`` (the historical deal), or sorted by dependency
+   rank and cut into contiguous chunks under ``schedule=priority`` so
+   each shard receives depth-contiguous work (see
+   :func:`repro.core.schedule.deal_slices`).
 2. **Evaluate.** Each slice runs on a worker thread.  Every
    configuration is evaluated against a fresh
    :class:`~repro.core.store.ShardOverlay` over the round-frozen global
@@ -72,6 +76,7 @@ from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable
 
+from repro.core.schedule import deal_slices
 from repro.core.store import ShardOverlay
 
 
@@ -84,6 +89,7 @@ def sharded_explore(
     shards: int,
     max_evals: int = 1_000_000,
     stats: dict | None = None,
+    schedule: str = "fifo",
 ) -> tuple:
     """Compute ``global_store_explore``'s fixed point in sharded rounds.
 
@@ -99,6 +105,13 @@ def sharded_explore(
     ``rounds``, ``shards`` and ``peak_frontier``; ``evaluations`` and
     ``retriggers`` count the sharded trajectory, which may differ from
     the sequential one (the fixed point does not).
+
+    ``schedule`` orders the within-round deal only: the round barrier
+    already dominates the drain order, so ranks steer which shard gets
+    which configurations (and in what order inside a slice), not when a
+    round runs.  Dedup is per round -- a reader retriggered by several
+    grown addresses in one round is enqueued once, the suppressions
+    counted in ``dedup_hits``.
     """
     inner = collecting.inner
     seed_configs, seed_store = collecting.inject(initial_state)
@@ -107,6 +120,9 @@ def sharded_explore(
     seen: set = set(seed_configs)
     pending: deque = deque(seen)
     deps: dict = {}
+    ranks: dict = {config: 0 for config in seen}
+    max_rank = 0
+    dedup_hits = 0
     evals = 0
     retriggers = 0
     rounds = 0
@@ -134,7 +150,7 @@ def sharded_explore(
             if evals > max_evals:
                 raise _diverged(max_evals)
 
-            slices = [s for s in (batch[i::shards] for i in range(shards)) if s]
+            slices = deal_slices(batch, shards, schedule, ranks)
             if pool is not None and len(slices) > 1:
                 results = list(pool.map(evaluate, slices))
             else:
@@ -154,6 +170,10 @@ def sharded_explore(
                     for pair in pairs:
                         if pair not in seen:
                             seen.add(pair)
+                            rank = ranks.get(config, 0) + 1
+                            ranks[pair] = rank
+                            if rank > max_rank:
+                                max_rank = rank
                             queued.add(pair)
                             pending.append(pair)
 
@@ -163,6 +183,8 @@ def sharded_explore(
                         queued.add(reader)
                         pending.append(reader)
                         retriggers += 1
+                    else:
+                        dedup_hits += 1
     finally:
         if pool is not None:
             pool.shutdown()
@@ -175,6 +197,9 @@ def sharded_explore(
             configurations=len(seen),
             tracked_addresses=len(deps),
             reused=0,
+            dedup_hits=dedup_hits,
+            max_rank=max_rank,
+            schedule=schedule,
             rounds=rounds,
             shards=shards,
             peak_frontier=peak_frontier,

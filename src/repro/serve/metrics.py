@@ -46,6 +46,9 @@ class ServerMetrics:
         self.errors: dict[str, int] = defaultdict(int)
         self.tiers: dict[str, int] = defaultdict(int)
         self._latencies: dict[str, list[float]] = defaultdict(list)
+        self._evaluations = 0
+        self._dedup_hits = 0
+        self._max_rank = 0
 
     def record_request(self, method: str) -> None:
         """Count one request at receipt (before any validation or work)."""
@@ -61,6 +64,23 @@ class ServerMetrics:
         """Count which tier answered (hot | disk | warm | cold)."""
         with self._lock:
             self.tiers[tier] += 1
+
+    def record_work(self, stats: dict) -> None:
+        """Accumulate one outcome's engine-work counters (handler side).
+
+        ``evaluations``/``dedup_hits`` sum across every analysed job
+        (cache-served outcomes carry no stats and contribute nothing);
+        ``max_rank`` keeps the deepest dependency rank any served
+        analysis reached.  Together they make the scheduling win
+        observable from the ``stats`` method without touching per-job
+        report rows.
+        """
+        with self._lock:
+            self._evaluations += stats.get("evaluations") or 0
+            self._dedup_hits += stats.get("dedup_hits") or 0
+            rank = stats.get("max_rank") or 0
+            if rank > self._max_rank:
+                self._max_rank = rank
 
     def record_latency(self, method: str, seconds: float) -> None:
         """Record one successful request's wall-clock service time."""
@@ -82,6 +102,11 @@ class ServerMetrics:
                 "requests": dict(sorted(self.requests.items())),
                 "errors": dict(sorted(self.errors.items())),
                 "tiers": dict(sorted(self.tiers.items())),
+                "work": {
+                    "evaluations": self._evaluations,
+                    "dedup_hits": self._dedup_hits,
+                    "max_rank": self._max_rank,
+                },
                 "latency": {
                     method: {
                         "count": len(samples),

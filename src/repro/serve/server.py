@@ -267,7 +267,7 @@ class AnalysisServer:
             )
         loop = asyncio.get_running_loop()
         try:
-            result, tiers = await asyncio.wait_for(
+            result, tiers, work_stats = await asyncio.wait_for(
                 loop.run_in_executor(self._pool, self._tracked, work), timeout
             )
         except asyncio.TimeoutError:
@@ -288,6 +288,8 @@ class AnalysisServer:
             )
         for tier in tiers:
             self.metrics.record_tier(tier)
+        for stats in work_stats:
+            self.metrics.record_work(stats)
         self._bound_intern_pool()
         return result_response(request_id, result)
 
@@ -338,16 +340,16 @@ class AnalysisServer:
             label=spec.get("label", ""),
         )
 
-    def _run_analyse(self, params: dict, allow_warm: bool) -> tuple[dict, list[str]]:
+    def _run_analyse(self, params: dict, allow_warm: bool) -> tuple[dict, list, list]:
         """One job through the shared dispatch cascade (worker thread)."""
         job = self._job_from(params)
         outcome = dispatch(
             job=job, cache=self.cache, hot=self.hot, allow_warm=allow_warm
         )
         row = outcome_row(outcome, include_flows=bool(params.get("include_flows")))
-        return row, [outcome.tier]
+        return row, [outcome.tier], [outcome.stats]
 
-    def _run_batch(self, params: dict) -> tuple[dict, list[str]]:
+    def _run_batch(self, params: dict) -> tuple[dict, list, list]:
         """A job grid through the same cascade, one report (worker thread).
 
         Jobs run sequentially *within* the request -- the server's
@@ -380,7 +382,9 @@ class AnalysisServer:
             "total_seconds": round(time.perf_counter() - started, 6),
             "cache": self.cache.stats() if self.cache is not None else None,
         }
-        return report, [outcome.tier for outcome in outcomes]
+        return report, [outcome.tier for outcome in outcomes], [
+            outcome.stats for outcome in outcomes
+        ]
 
     # -- observability -------------------------------------------------------
 

@@ -25,6 +25,15 @@ incremental pipeline over the fixpoint cache:
    written back, so the *next* edit warm-starts from this one: a chain
    of edits stays warm end to end.
 
+Warm replay drains through the engine's configured worklist, so under
+``schedule="priority"`` clean records replay in dependency-rank order
+-- writes land forward along the discovery depth, which keeps the dirty
+set from cascading into records that would have stayed clean under an
+arbitrary replay order.  The replayed fixed point is identical either
+way (the schedule axis never changes a fixed point, only the work to
+reach it), which is why ``warmable`` does not look at ``schedule`` and
+warm donors are shared across schedules through the cache key.
+
 The pipeline itself lives in :func:`repro.service.jobs.dispatch` -- the
 same tier cascade the batch runner, the CLI, and the resident server
 run -- and this module is its incremental-facing entry: it accepts an

@@ -598,5 +598,7 @@ def outcome_row(outcome: JobOutcome, include_flows: bool = False) -> dict:
         tier=outcome.tier,
         evaluations=outcome.stats.get("evaluations"),
         reused=outcome.stats.get("reused"),
+        dedup_hits=outcome.stats.get("dedup_hits"),
+        max_rank=outcome.stats.get("max_rank"),
     )
     return summary

@@ -39,7 +39,9 @@ CELLS = [
 #: (which tier answered, whether the cache hit, what it cost).  Every
 #: other field of an ``analyse`` response is analysis content and must
 #: be byte-identical to the cold reference.
-VOLATILE_ROW_FIELDS = frozenset({"seconds", "cache", "tier", "evaluations", "reused"})
+VOLATILE_ROW_FIELDS = frozenset(
+    {"seconds", "cache", "tier", "evaluations", "reused", "dedup_hits", "max_rank"}
+)
 
 #: Keys masked (at any nesting depth) in golden protocol fixtures:
 #: wall-clock, process identity, and interning counters that depend on

@@ -1,0 +1,540 @@
+"""The ``schedule`` axis: worklist drain orders, dedup, and equivalence.
+
+What this file pins, layer by layer:
+
+* **Worklist units** -- :class:`FifoWorklist` preserves the historical
+  insertion order while counting suppressed enqueues;
+  :class:`PriorityWorklist` drains in ``(wave, rank, sequence)`` order:
+  rank-ascending within a wave, retriggers deferred one wave, ties by
+  insertion.  ``deal_slices`` deals round-robin under ``fifo`` and
+  rank-contiguous chunks under ``priority``, never losing an item.
+* **No starvation / termination** -- on randomly generated monotone
+  fake-domain systems, both schedules terminate, evaluate every
+  discovered configuration at least once, and land on the reference
+  least fixed point; a retrigger-storm system cannot keep deep pending
+  work out of the drain forever.
+* **Corpus scheduler-equivalence** -- for every engine preset and
+  language, the ``priority`` fixed point is bit-identical to the
+  ``fifo`` fixed point across the full corpus (chaotic iteration is
+  drain-order-insensitive); likewise for the blind worklist engine,
+  persistent stores, GC, counting, the sharded engine, and warm starts.
+* **Configuration surface** -- unknown schedules and worklist-free
+  engines are rejected, ``cache_key`` ignores the schedule axis (same
+  fixed point, same content address), warm donors are shared across
+  schedules, and the trace hook is sequential-engine-only.
+* **The blind-engine win** -- the regression this PR exists for: on
+  ``id_chain`` the priority schedule needs a small multiple fewer
+  evaluations than FIFO (ratios, not exact counts: FIFO's drain order
+  varies with ``PYTHONHASHSEED``), and the dedup counter is live.
+"""
+
+import random
+
+import pytest
+
+from repro.config import LANGUAGES, PRESETS, AnalysisConfig, assemble, preset_config
+from repro.core.schedule import (
+    SCHEDULES,
+    FifoWorklist,
+    PriorityWorklist,
+    deal_slices,
+    make_worklist,
+)
+from repro.corpus import corpus_program, corpus_programs
+from repro.corpus.cps_programs import id_chain, id_chain_edited
+from repro.service.cache import FixpointCache
+from repro.service.incremental import reanalyse, warmable
+
+# ---------------------------------------------------------------------------
+# Worklist units
+# ---------------------------------------------------------------------------
+
+
+class TestFifoWorklist:
+    def test_pops_in_insertion_order(self):
+        worklist = FifoWorklist(["a", "b"])
+        worklist.discovered("c", parent="a")
+        assert [worklist.pop() for _ in range(3)] == ["a", "b", "c"]
+
+    def test_retrigger_appends_at_the_tail(self):
+        worklist = FifoWorklist(["a", "b"])
+        assert worklist.pop() == "a"
+        assert worklist.retrigger("a") is True
+        assert [worklist.pop(), worklist.pop()] == ["b", "a"]
+
+    def test_queued_retrigger_is_suppressed_and_counted(self):
+        worklist = FifoWorklist(["a"])
+        assert worklist.retrigger("a") is False
+        assert worklist.retrigger("a") is False
+        assert worklist.dedup_hits == 2
+        assert worklist.pop() == "a"
+        assert not worklist
+
+    def test_rank_bookkeeping_matches_priority(self):
+        worklist = FifoWorklist(["seed"])
+        worklist.discovered("child", parent="seed")
+        worklist.discovered("grandchild", parent="child")
+        assert worklist.ranks == {"seed": 0, "child": 1, "grandchild": 2}
+        assert worklist.max_rank == 2
+
+
+class TestPriorityWorklist:
+    def test_drains_rank_ascending_with_insertion_ties(self):
+        worklist = PriorityWorklist(["root"])
+        worklist.discovered("deep", parent="root")
+        worklist.discovered("deeper", parent="deep")
+        worklist.discovered("also-deep", parent="root")
+        drained = [worklist.pop() for _ in range(4)]
+        # rank 0, then the two rank-1 entries in insertion order, then rank 2
+        assert drained == ["root", "deep", "also-deep", "deeper"]
+
+    def test_retrigger_defers_to_the_next_wave(self):
+        """A retriggered rank-0 reader must NOT preempt pending deeper
+        work from the current wave -- the wave term is what keeps FIFO's
+        batching (a pure rank heap re-runs the reader first, which
+        measured strictly worse than FIFO)."""
+        worklist = PriorityWorklist(["root"])
+        worklist.discovered("child", parent="root")
+        assert worklist.pop() == "root"
+        assert worklist.retrigger("root") is True
+        assert worklist.pop() == "child"  # wave 0 drains first
+        assert worklist.pop() == "root"  # the deferred wave-1 entry
+        assert not worklist
+
+    def test_waves_drain_rank_first_after_advancing(self):
+        worklist = PriorityWorklist(["a"])
+        worklist.discovered("b", parent="a")
+        assert [worklist.pop(), worklist.pop()] == ["a", "b"]  # wave 0 drains
+        # defer both into wave 1, shallow one last
+        assert worklist.retrigger("b") is True
+        assert worklist.retrigger("a") is True
+        # wave 1 drains rank-ascending regardless of retrigger order
+        assert [worklist.pop(), worklist.pop()] == ["a", "b"]
+
+    def test_queued_retrigger_is_suppressed_and_counted(self):
+        worklist = PriorityWorklist(["a", "b"])
+        assert worklist.retrigger("b") is False
+        assert worklist.dedup_hits == 1
+        assert [worklist.pop(), worklist.pop()] == ["a", "b"]
+        assert len(worklist) == 0
+
+    def test_configs_never_need_to_be_comparable(self):
+        """The sequence number breaks every heap tie, so unorderable
+        configurations (dicts aren't, frozensets aren't totally) work."""
+        a, b = frozenset({1}), frozenset({2})
+        worklist = PriorityWorklist([a, b])
+        worklist.discovered((a, b), parent=a)
+        assert [worklist.pop() for _ in range(3)] == [a, b, (a, b)]
+
+
+class TestMakeWorklist:
+    def test_factory_builds_both_schedules(self):
+        assert isinstance(make_worklist("fifo", ["x"]), FifoWorklist)
+        assert isinstance(make_worklist("priority", ["x"]), PriorityWorklist)
+
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(ValueError, match="unknown schedule"):
+            make_worklist("lifo")
+
+    def test_schedules_tuple_is_the_registry(self):
+        assert SCHEDULES == ("fifo", "priority")
+
+
+class TestDealSlices:
+    def test_fifo_deals_round_robin(self):
+        batch = list("abcdef")
+        assert deal_slices(batch, 2, "fifo", {}) == [list("ace"), list("bdf")]
+
+    def test_priority_deals_rank_contiguous_chunks(self):
+        batch = list("abcd")
+        ranks = {"a": 3, "b": 0, "c": 2, "d": 0}
+        # sorted by (rank, arrival): b d c a, cut into contiguous halves
+        assert deal_slices(batch, 2, "priority", ranks) == [["b", "d"], ["c", "a"]]
+
+    @pytest.mark.parametrize("schedule", SCHEDULES)
+    @pytest.mark.parametrize("shards", (1, 2, 3, 5))
+    def test_no_item_lost_and_no_empty_slices(self, schedule, shards):
+        rng = random.Random(7)
+        batch = [f"c{i}" for i in range(11)]
+        ranks = {config: rng.randint(0, 4) for config in batch}
+        slices = deal_slices(batch, shards, schedule, ranks)
+        assert all(chunk for chunk in slices)
+        assert sorted(c for chunk in slices for c in chunk) == sorted(batch)
+
+    def test_small_round_drops_empty_slices(self):
+        assert deal_slices(["only"], 4, "fifo", {}) == [["only"]]
+        assert deal_slices(["only"], 4, "priority", {}) == [["only"]]
+
+
+# ---------------------------------------------------------------------------
+# No starvation / termination on fake monotone systems
+# ---------------------------------------------------------------------------
+
+
+def _random_system(seed, configs=12, addresses=8):
+    """A random monotone equation system over frozenset-valued addresses
+    (the ``tests/test_parallel.py`` fake domain): each configuration
+    reads a few addresses and writes the union of what it read plus its
+    own token, so the least fixed point is unique and every chaotic
+    iteration must land on it exactly."""
+    rng = random.Random(seed)
+    addrs = [f"a{i}" for i in range(addresses)]
+    table = {}
+    for c in range(configs):
+        reads = rng.sample(addrs, rng.randint(1, 3))
+        writes = rng.sample(addrs, rng.randint(1, 2))
+        successors = rng.sample(range(configs), rng.randint(0, 3))
+        table[c] = (tuple(reads), tuple(writes), tuple(successors))
+    return table
+
+
+def _reference_fixpoint(table, seeds):
+    """An independent whole-system Kleene iteration (no worklist code)."""
+    store = {}
+    seen = set(seeds)
+    while True:
+        changed = False
+        for config in sorted(seen):
+            reads, writes, successors = table[config]
+            gathered = frozenset({("token", config)})
+            for addr in reads:
+                gathered |= store.get(addr, frozenset())
+            for addr in writes:
+                joined = store.get(addr, frozenset()) | gathered
+                if joined != store.get(addr, frozenset()):
+                    store[addr] = joined
+                    changed = True
+            for successor in successors:
+                if successor not in seen:
+                    seen.add(successor)
+                    changed = True
+        if not changed:
+            return frozenset(seen), store
+
+
+def _drain_system(table, seeds, schedule, fuel=20_000):
+    """Drain a fake system through a scheduled worklist, exactly the way
+    the depgraph engine does: evaluate, join writes, retrigger readers
+    of grown cells, discover successors.  ``fuel`` bounds the drain so a
+    starving or diverging scheduler fails the test instead of hanging."""
+    store = {}
+    readers = {}
+    seen = set(seeds)
+    worklist = make_worklist(schedule, sorted(seen))
+    popped = []
+    while worklist:
+        assert len(popped) < fuel, f"{schedule} drain did not converge"
+        config = worklist.pop()
+        popped.append(config)
+        reads, writes, successors = table[config]
+        gathered = frozenset({("token", config)})
+        for addr in reads:
+            readers.setdefault(addr, set()).add(config)
+            gathered |= store.get(addr, frozenset())
+        for addr in writes:
+            joined = store.get(addr, frozenset()) | gathered
+            if joined != store.get(addr, frozenset()):
+                store[addr] = joined
+                for reader in sorted(readers.get(addr, ())):
+                    worklist.retrigger(reader)
+        for successor in successors:
+            if successor not in seen:
+                seen.add(successor)
+                worklist.discovered(successor, config)
+    return frozenset(seen), store, popped, worklist
+
+
+class TestFakeDomainProperties:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("schedule", SCHEDULES)
+    def test_reaches_the_unique_lfp(self, seed, schedule):
+        table = _random_system(seed)
+        ref_configs, ref_store = _reference_fixpoint(table, seeds={0, 1})
+        configs, store, popped, worklist = _drain_system(table, {0, 1}, schedule)
+        assert configs == ref_configs
+        assert store == ref_store
+        # no starvation: everything discovered was evaluated at least once
+        assert set(popped) == set(ref_configs)
+        assert len(worklist) == 0
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_both_schedules_land_on_the_same_fixpoint(self, seed):
+        table = _random_system(seed, configs=16, addresses=10)
+        fifo_configs, fifo_store, _, _ = _drain_system(table, {0}, "fifo")
+        prio_configs, prio_store, _, prio_worklist = _drain_system(
+            table, {0}, "priority"
+        )
+        assert prio_configs == fifo_configs
+        assert prio_store == fifo_store
+        assert prio_worklist.max_rank <= len(table)
+
+    def test_retrigger_storm_cannot_starve_pending_work(self):
+        """A chain whose head is retriggered by every deeper write: the
+        adversarial shape for a rank-ordered queue.  Keys are fixed at
+        insertion and the wave counter only advances, so the deep tail
+        still drains -- every link evaluates, the drain terminates."""
+        n = 40
+        table = {
+            i: (
+                (f"a{i}",),  # link i reads its own cell
+                (f"a{max(i - 1, 0)}", "a0"),  # and bumps upstream + the head
+                (i + 1,) if i + 1 < n else (),
+            )
+            for i in range(n)
+        }
+        ref_configs, ref_store = _reference_fixpoint(table, seeds={0})
+        for schedule in SCHEDULES:
+            configs, store, popped, _ = _drain_system(table, {0}, schedule)
+            assert configs == ref_configs, schedule
+            assert store == ref_store, schedule
+            assert set(popped) == set(range(n)), schedule
+
+
+# ---------------------------------------------------------------------------
+# Corpus scheduler-equivalence: priority == fifo, preset by preset
+# ---------------------------------------------------------------------------
+
+#: Every preset with a worklist to order (the kleene presets have none,
+#: and the per-state/concrete presets have no engine at all).
+SCHEDULED_PRESETS = sorted(
+    name
+    for name, preset in PRESETS.items()
+    if preset.config.engine in ("worklist", "depgraph")
+)
+
+#: Cells whose engine run is prohibitively slow (same exclusion the
+#: preset matrix makes): Church arithmetic under k=2.
+EXPENSIVE = {("2cfa", "lam"): {"church-two-two"}}
+
+#: fifo reference fixed points, shared across presets that differ only
+#: in schedule/label (1cfa-priority's fifo reference == 1cfa-fused's).
+_fifo_cache: dict = {}
+
+
+def _fixpoint(config, program):
+    analysis = assemble(config, program=program)
+    result = analysis.run(program, worklist=not config.shared)
+    return result.fp, dict(analysis.last_stats)
+
+
+def _fifo_reference(config, lang, name, program):
+    key = (
+        lang,
+        name,
+        config.addressing,
+        config.k,
+        config.engine,
+        config.store_impl,
+        config.transition,
+        config.parallelism,
+        config.shards,
+        config.gc,
+        config.counting,
+    )
+    if key not in _fifo_cache:
+        _fifo_cache[key] = _fixpoint(config.replace(schedule="fifo"), program)
+    return _fifo_cache[key]
+
+
+class TestCorpusEquivalence:
+    @pytest.mark.parametrize("lang", LANGUAGES)
+    @pytest.mark.parametrize("preset_name", SCHEDULED_PRESETS)
+    def test_priority_fixpoint_is_bit_identical_to_fifo(self, preset_name, lang):
+        config = preset_config(preset_name, lang)
+        skip = EXPENSIVE.get((preset_name, lang), set())
+        for name in sorted(corpus_programs(lang)):
+            if name in skip:
+                continue
+            program = corpus_program(lang, name)
+            fifo_fp, _ = _fifo_reference(config, lang, name, program)
+            priority_fp, stats = _fixpoint(
+                config.replace(schedule="priority").validated(), program
+            )
+            assert priority_fp == fifo_fp, f"{preset_name} on {lang}/{name}"
+            assert stats["schedule"] == "priority", f"{preset_name} on {lang}/{name}"
+            assert stats["dedup_hits"] >= 0
+
+    @pytest.mark.parametrize("lang", LANGUAGES)
+    def test_sharded_priority_preset_matches_sequential(self, lang):
+        """The sharded preset pair: rank-dealt slices reach the same
+        fixed point as the sequential fused engine, stats included."""
+        name = {"cps": "mj09", "lam": "church-two-two", "fj": "visitor"}[lang]
+        program = corpus_program(lang, name)
+        sequential, _ = _fixpoint(preset_config("1cfa-fused", lang), program)
+        sharded, stats = _fixpoint(preset_config("1cfa-sharded-priority", lang), program)
+        assert sharded == sequential
+        assert stats["shards"] == 4 and stats["schedule"] == "priority"
+        assert "dedup_hits" in stats and "max_rank" in stats
+
+
+class TestManualConfigEquivalence:
+    """Axes no preset covers: the blind engine and persistent stores."""
+
+    PROGRAMS = (("cps", "mj09"), ("lam", "church-two-two"), ("fj", "visitor"))
+
+    @pytest.mark.parametrize("lang,name", PROGRAMS)
+    @pytest.mark.parametrize("store_impl", ("persistent", "versioned"))
+    def test_blind_worklist_engine(self, lang, name, store_impl):
+        program = corpus_program(lang, name)
+        config = AnalysisConfig(
+            k=1, engine="worklist", store_impl=store_impl, language=lang
+        ).validated()
+        fifo_fp, fifo_stats = _fixpoint(config, program)
+        priority_fp, stats = _fixpoint(
+            config.replace(schedule="priority").validated(), program
+        )
+        assert priority_fp == fifo_fp
+        # the blind engine retriggers every reader of the whole store,
+        # so the membership set must be doing real suppression work
+        assert fifo_stats["dedup_hits"] > 0
+        assert stats["evaluations"] <= fifo_stats["evaluations"]
+
+    @pytest.mark.parametrize("gc", (False, True))
+    @pytest.mark.parametrize("counting", (False, True))
+    def test_gc_and_counting_over_persistent_store(self, gc, counting):
+        program = corpus_program("lam", "church-two-two")
+        config = AnalysisConfig(
+            k=1,
+            engine="depgraph",
+            store_impl="persistent",
+            gc=gc,
+            counting=counting,
+            language="lam",
+        ).validated()
+        fifo_fp, _ = _fixpoint(config, program)
+        priority_fp, _ = _fixpoint(
+            config.replace(schedule="priority").validated(), program
+        )
+        assert priority_fp == fifo_fp
+
+
+class TestWarmStartEquivalence:
+    def test_priority_warm_start_matches_cold_and_fifo(self, tmp_path):
+        """An edit replayed through the priority worklist: same fixed
+        point as a cold priority run and as any fifo run, at a fraction
+        of the evaluations (clean records replay instead of stepping)."""
+        config = preset_config("1cfa-priority", "cps").validated()
+        cache = FixpointCache(root=tmp_path / "cache")
+        first = reanalyse(config, id_chain(40), cache)
+        assert first.mode == "cold"
+        second = reanalyse(config, id_chain_edited(40), cache)
+        assert second.mode == "warm"
+        cold = assemble(config).run(id_chain_edited(40))
+        assert second.fp == cold.fp
+        fifo = assemble(config.replace(schedule="fifo")).run(id_chain_edited(40))
+        assert second.fp == fifo.fp
+        # the warm run pays for the edit, not the program
+        assert second.stats["evaluations"] < first.stats["evaluations"]
+
+    def test_warm_donors_are_shared_across_schedules(self, tmp_path):
+        """A fifo run's cache entry warm-starts a priority run of the
+        edited program (and the digest of the unedited program is a
+        plain cache hit): the cache key ignores the schedule axis."""
+        fifo_config = preset_config("1cfa-fused", "cps").validated()
+        priority_config = fifo_config.replace(schedule="priority").validated()
+        cache = FixpointCache(root=tmp_path / "cache")
+        reanalyse(fifo_config, id_chain(40), cache)
+        hit = reanalyse(priority_config, id_chain(40), cache)
+        assert hit.mode == "cache-hit"
+        warm = reanalyse(priority_config, id_chain_edited(40), cache)
+        assert warm.mode == "warm"
+        assert warm.fp == assemble(fifo_config).run(id_chain_edited(40)).fp
+
+
+# ---------------------------------------------------------------------------
+# Configuration surface
+# ---------------------------------------------------------------------------
+
+
+class TestScheduleConfig:
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(ValueError, match="unknown schedule"):
+            AnalysisConfig(engine="depgraph", schedule="lifo").validated()
+
+    def test_priority_needs_a_worklist_engine(self):
+        with pytest.raises(ValueError, match="worklist"):
+            AnalysisConfig(engine="kleene", schedule="priority").validated()
+        with pytest.raises(ValueError, match="worklist"):
+            AnalysisConfig(k=1, schedule="priority").validated()  # per-state
+
+    def test_priority_presets_registered_and_valid(self):
+        for name in ("1cfa-priority", "1cfa-sharded-priority"):
+            config = PRESETS[name].config
+            assert config.schedule == "priority"
+            assert config.validated() == config
+
+    def test_cache_key_ignores_the_schedule_axis(self):
+        assert (
+            preset_config("1cfa-priority", "lam").cache_key()
+            == preset_config("1cfa-fused", "lam").cache_key()
+        )
+        assert (
+            preset_config("1cfa-sharded-priority", "lam").cache_key()
+            == preset_config("1cfa-sharded", "lam").cache_key()
+        )
+
+    def test_describe_names_the_schedule(self):
+        assert "priority" in preset_config("1cfa-priority").describe()
+        assert "priority" not in preset_config("1cfa-fused").describe()
+
+    def test_warmable_under_priority(self):
+        assert warmable(preset_config("1cfa-priority", "cps"))
+
+    def test_stats_report_the_schedule(self):
+        program = corpus_program("lam", "eta")
+        for preset_name, expected in (("1cfa-fused", "fifo"), ("1cfa-priority", "priority")):
+            _, stats = _fixpoint(preset_config(preset_name, "lam"), program)
+            assert stats["schedule"] == expected
+
+
+class TestScheduleTrace:
+    def test_trace_records_every_evaluation_with_its_rank(self):
+        program = corpus_program("lam", "eta")
+        for preset_name in ("1cfa-fused", "1cfa-priority"):
+            config = preset_config(preset_name, "lam")
+            analysis = assemble(config, program=program)
+            trace = []
+            analysis.run(program, trace=trace)
+            stats = analysis.last_stats
+            assert len(trace) == stats["evaluations"]
+            ranks = [rank for rank, _config in trace]
+            assert ranks[0] == 0 and max(ranks) == stats["max_rank"]
+
+    def test_trace_is_sequential_only(self):
+        program = corpus_program("lam", "eta")
+        sharded = assemble(preset_config("1cfa-sharded", "lam"), program=program)
+        with pytest.raises(TypeError, match="sequential"):
+            sharded.run(program, trace=[])
+        per_state = assemble(preset_config("1cfa-per-state", "lam"), program=program)
+        with pytest.raises(ValueError, match="engine"):
+            per_state.run(program, trace=[])
+
+
+# ---------------------------------------------------------------------------
+# The blind-engine win (the satellite-2 regression pin)
+# ---------------------------------------------------------------------------
+
+
+class TestBlindChainRegression:
+    def test_id_chain_dedup_and_eval_drop(self):
+        """``id_chain(30)`` on the dependency-blind engine: FIFO re-runs
+        each link once per downstream growth wave (quadratic), priority
+        re-runs it twice (linear).  Bounds are ratios with margin --
+        FIFO's exact counts move with ``PYTHONHASHSEED``; the measured
+        ratio is ~8x and the gate asks for 3x."""
+        program = id_chain(30)
+        config = AnalysisConfig(
+            k=1,
+            engine="worklist",
+            store_impl="versioned",
+            transition="fused",
+            language="cps",
+        ).validated()
+        fifo_fp, fifo_stats = _fixpoint(config, program)
+        priority_fp, priority_stats = _fixpoint(
+            config.replace(schedule="priority").validated(), program
+        )
+        assert priority_fp == fifo_fp
+        assert priority_stats["evaluations"] * 3 <= fifo_stats["evaluations"]
+        assert fifo_stats["dedup_hits"] > 0
+        assert priority_stats["max_rank"] >= 30

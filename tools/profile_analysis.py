@@ -26,6 +26,18 @@ explicitly to profile another point.  Everything assembles through
 ``repro.config``, so a profiled configuration is exactly what the CLI
 and tests run for the same settings.
 
+``--schedule-trace`` swaps the profiler for a scheduling view: run the
+analysis once with the engine's evaluation-order trace enabled and
+print the drain order (rank per pop) plus the per-configuration
+re-evaluation histogram -- the direct way to eyeball a scheduling
+pathology (a configuration re-evaluated dozens of times is a batching
+failure; compare ``--schedule fifo`` against ``--schedule priority``
+on the same workload)::
+
+    PYTHONPATH=src python tools/profile_analysis.py --preset 1cfa-fused \\
+        --lang cps --workload id-chain-30 --engine worklist \\
+        --schedule-trace --schedule priority
+
 ``--pickle-cost`` swaps the profiler for a transport-cost measurement:
 run the analysis once, then time pickling, compressing, unpickling and
 rehydrating its frozen fixed point (and report the byte sizes).  These
@@ -95,6 +107,7 @@ def build_analysis(args: argparse.Namespace, program):
             engine=args.engine,
             store_impl=args.store_impl,
             transition=args.transition,
+            schedule=args.schedule,
         )
         if args.k is not None:
             config = config.replace(k=args.k).validated()
@@ -112,6 +125,7 @@ def build_analysis(args: argparse.Namespace, program):
             gc=args.gc,
             counting=args.counting,
             transition=args.transition or "generic",
+            schedule=args.schedule or "fifo",
         ).validated()
     return assemble(config, program=program), config
 
@@ -157,6 +171,75 @@ def _timed_once(fn) -> tuple[float, object]:
     return time.perf_counter() - start, value
 
 
+def schedule_trace(analysis, config, args: argparse.Namespace, program) -> int:
+    """Run once with the engine trace on; print order + re-eval histogram.
+
+    The trace is the engine's own pop sequence (one ``(rank, config)``
+    entry per real evaluation -- warm replays never appear), so what is
+    printed is exactly what the worklist did, not a reconstruction.
+    """
+    from collections import Counter
+
+    if config.engine not in ("worklist", "depgraph"):
+        raise SystemExit(
+            "--schedule-trace needs a sequential worklist engine "
+            "(--engine worklist|depgraph); kleene and per-state runs "
+            "have no drain order to trace"
+        )
+    if config.parallelism != "none":
+        raise SystemExit(
+            "--schedule-trace is sequential-only: sharded slices run on "
+            "worker threads, so a global evaluation order is not defined"
+        )
+    trace: list = []
+    analysis.run(program, trace=trace)
+    stats = dict(analysis.last_stats)
+
+    print(
+        f"schedule trace of {config.describe()} on {args.lang}/{args.workload} "
+        f"(schedule={config.schedule})"
+    )
+    print(
+        f"  evaluations: {stats.get('evaluations')}  "
+        f"retriggers: {stats.get('retriggers')}  "
+        f"dedup_hits: {stats.get('dedup_hits')}  "
+        f"max_rank: {stats.get('max_rank')}"
+    )
+
+    shown = min(len(trace), max(0, args.top))
+    print(f"\ndrain order (first {shown} of {len(trace)} evaluations):")
+    for index, (rank, conf) in enumerate(trace[:shown]):
+        text = repr(conf)
+        if len(text) > 96:
+            text = text[:93] + "..."
+        print(f"  {index:5d}  rank {rank:4d}  {text}")
+
+    runs = Counter(conf for _rank, conf in trace)
+    histogram = Counter(runs.values())
+    print("\nre-evaluation histogram (evaluations-per-configuration: configurations):")
+    for count in sorted(histogram):
+        print(f"  {count:4d}x: {histogram[count]}")
+
+    worst = runs.most_common(min(5, len(runs)))
+    if worst and worst[0][1] > 1:
+        print("\nmost re-evaluated configurations:")
+        for conf, count in worst:
+            if count == 1:
+                break
+            text = repr(conf)
+            if len(text) > 80:
+                text = text[:77] + "..."
+            print(f"  {count:4d}x  rank {_rank_of(trace, conf):4d}  {text}")
+    return 0
+
+
+def _rank_of(trace: list, conf) -> int:
+    for rank, entry in trace:
+        if entry == conf:
+            return rank
+    return -1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--lang", required=True, choices=("cps", "lam", "fj"))
@@ -179,6 +262,12 @@ def main(argv: list[str] | None = None) -> int:
         help="store representation (default without --preset: versioned)",
     )
     parser.add_argument("--transition", choices=("generic", "fused"))
+    parser.add_argument(
+        "--schedule",
+        choices=("fifo", "priority"),
+        default=None,
+        help="worklist drain order (see PERFORMANCE.md, 'Worklist scheduling')",
+    )
     parser.add_argument("--gc", action="store_true")
     parser.add_argument("--counting", action="store_true")
     parser.add_argument("--top", type=int, default=25, help="rows to print")
@@ -192,6 +281,13 @@ def main(argv: list[str] | None = None) -> int:
         "--repeat", type=int, default=1, help="profile N back-to-back runs"
     )
     parser.add_argument(
+        "--schedule-trace",
+        action="store_true",
+        help="dump the worklist drain order and the per-configuration "
+        "re-evaluation histogram instead of profiling (sequential "
+        "worklist engines only; --top bounds the order listing)",
+    )
+    parser.add_argument(
         "--pickle-cost",
         action="store_true",
         help="measure serialize/deserialize time and byte size of the "
@@ -202,6 +298,9 @@ def main(argv: list[str] | None = None) -> int:
 
     program = resolve_workload(args.lang, args.workload)
     analysis, config = build_analysis(args, program)
+
+    if args.schedule_trace:
+        return schedule_trace(analysis, config, args, program)
 
     if args.pickle_cost:
         run_start = time.perf_counter()
