@@ -27,7 +27,7 @@ the same code the ``repro batch`` CLI runs.
 The JSON shape (see PERFORMANCE.md for how to read it)::
 
     {
-      "schema": "engine-suite/6",
+      "schema": "engine-suite/7",
       "workloads": {
         "<workload>": {
           "<engine>/<store_impl>": {            # generic transition
@@ -65,6 +65,11 @@ The JSON shape (see PERFORMANCE.md for how to read it)::
                         "cold_evaluations", "warm_evaluations"},
         "serve-latency": {"cold_cli_seconds", "hot_request_seconds",
                           "speedup", "requests"}
+      },
+      "observability": {
+        "trace-overhead": {"untraced_seconds", "noop_seconds",
+                           "traced_seconds", "noop_ratio", "traced_ratio",
+                           "trace_events", "rounds"}
       }
     }
 
@@ -100,7 +105,12 @@ evaluate at least ``--min-eval-reduction`` (default 1.5) times fewer
 configurations than FIFO, and on *every* schedule cell it must never
 evaluate more than :data:`_SCHEDULE_NEVER_WORSE` times FIFO's count.
 Evaluation counts, unlike seconds, are hardware-independent, so this
-gate never needs a skip condition.
+gate never needs a skip condition.  Finally (i) tracing must stay
+cheap: on the cps id-chain-200 depgraph/versioned cell a live tracer
+may cost at most ``--min-trace-overhead-ratio`` (default 1.10) times
+the plain run, and the always-on no-op instrumentation path at most
+:data:`_NOOP_TRACE_BUDGET` (1.03) times -- the observability layer's
+overhead promise, measured on every record.
 """
 
 from __future__ import annotations
@@ -113,9 +123,8 @@ import sys
 import time
 
 from repro.config import AnalysisConfig, assemble, preset_config
-from repro.corpus.cps_programs import id_chain, id_chain_edited
-from repro.corpus.fj_programs import PROGRAMS as FJ_PROGRAMS
-from repro.corpus.lam_programs import PROGRAMS as LAM_PROGRAMS
+from repro.corpus.cps_programs import id_chain_edited
+from repro.util.workloads import resolve_workload
 
 #: (engine, store_impl, transition) combinations; kleene has no
 #: mutable-store variant, and the fused row rides the fast configuration.
@@ -191,10 +200,10 @@ def _timed_best(runner, engine: str, impl: str, transition: str, stats: dict) ->
 
 def _workloads() -> dict:
     """Label -> (runner(engine, impl, transition, stats) -> result, combos)."""
-    chain30 = id_chain(30)
-    chain200 = id_chain(200)
-    church = LAM_PROGRAMS["church-two-two"]
-    visitor = FJ_PROGRAMS["visitor"]
+    chain30 = resolve_workload("cps", "id-chain-30")
+    chain200 = resolve_workload("cps", "id-chain-200")
+    church = resolve_workload("lam", "church-two-two")
+    visitor = resolve_workload("fj", "visitor")
     return {
         "cps-id-chain-30-k1": (_runner("cps", chain30), COMBINATIONS),
         "lam-church-two-two-k1": (_runner("lam", church), COMBINATIONS),
@@ -246,10 +255,10 @@ def _schedule_workloads() -> tuple:
     already suppresses most wasted work, so priority is only neutral to
     modestly better there) but still bound by the never-worse check.
     """
-    chain30 = id_chain(30)
-    chain200 = id_chain(200)
-    church = LAM_PROGRAMS["church-two-two"]
-    visitor = FJ_PROGRAMS["visitor"]
+    chain30 = resolve_workload("cps", "id-chain-30")
+    chain200 = resolve_workload("cps", "id-chain-200")
+    church = resolve_workload("lam", "church-two-two")
+    visitor = resolve_workload("fj", "visitor")
     return (
         # (label, language, program, engine, gated)
         ("cps-id-chain-30-k1", "cps", chain30, "worklist", True),
@@ -373,7 +382,7 @@ def _pool_jobs() -> list:
     from repro.service.cache import ensure_deep_pickle
 
     ensure_deep_pickle()  # pp/parse of a deep chain out-recurse the default
-    chain_source = pp(id_chain(500))
+    chain_source = pp(resolve_workload("cps", "id-chain-500"))
     jobs.append(
         BatchJob(
             config=preset_config("1cfa", "cps").replace(store_impl="persistent"),
@@ -400,7 +409,7 @@ def run_parallel_fixpoint_row() -> dict:
     time -- the speedup is hardware-dependent (and gated only on >= 4
     GIL-free cores; see :func:`check`), the equality never is.
     """
-    program = LAM_PROGRAMS["church-two-two"]
+    program = resolve_workload("lam", "church-two-two")
     sequential = preset_config("1cfa-fused", "lam")
     sharded = preset_config("1cfa-sharded", "lam").replace(shards=SHARDS).validated()
 
@@ -514,6 +523,87 @@ def run_serve_latency_row() -> dict:
     }
 
 
+#: The no-op tracing path (instrumented code, null tracer) may cost at
+#: most this multiple of the plain run -- the instrumentation is
+#: phase-level (a handful of ``current_tracer()`` lookups per analysis,
+#: nothing in the per-evaluation loop), so the honest budget is tight.
+_NOOP_TRACE_BUDGET = 1.03
+
+#: Interleaved best-of rounds for the trace-overhead row: each round
+#: runs all three cells back to back so clock drift hits them equally.
+_TRACE_OVERHEAD_ROUNDS = 5
+
+
+def run_trace_overhead_row() -> dict:
+    """Untraced vs null-tracer vs actively-traced on the scaling workload.
+
+    Three cells over the cps id-chain-200 depgraph/versioned/fused
+    configuration (the hot path the ≤3% no-op budget is promised on):
+
+    * ``untraced`` -- the plain run, no tracer anywhere in sight;
+    * ``noop`` -- the same run under an explicitly installed
+      :class:`~repro.obs.trace.NullTracer`, i.e. the instrumentation
+      fires but every span is the preallocated no-op;
+    * ``traced`` -- a live :class:`~repro.obs.trace.Tracer` recording
+      every span and event.
+
+    Best-of-N with the cells interleaved per round, so a thermal or
+    scheduler shift cannot land on one cell only.  Fixed points are
+    asserted bit-identical across all three -- tracing must observe,
+    never perturb.
+    """
+    from repro.obs.trace import NullTracer, Tracer, use_tracer
+
+    program = resolve_workload("cps", "id-chain-200")
+    config = AnalysisConfig(
+        language="cps",
+        k=1,
+        engine="depgraph",
+        store_impl="versioned",
+        transition="fused",
+        label="bench-trace-overhead",
+    )
+
+    def timed(tracer):
+        analysis = assemble(config, program=program)
+        if tracer is None:
+            start = time.perf_counter()
+            result = analysis.run(program)
+            return time.perf_counter() - start, result
+        with use_tracer(tracer):
+            start = time.perf_counter()
+            result = analysis.run(program)
+            return time.perf_counter() - start, result
+
+    best = {"untraced": None, "noop": None, "traced": None}
+    fps: dict = {}
+    events = 0
+    for _ in range(_TRACE_OVERHEAD_ROUNDS):
+        live = Tracer(process_name="bench-trace-overhead")
+        for cell, tracer in (
+            ("untraced", None),
+            ("noop", NullTracer()),
+            ("traced", live),
+        ):
+            seconds, result = timed(tracer)
+            if best[cell] is None or seconds < best[cell]:
+                best[cell] = seconds
+            fps[cell] = result.fp
+        events = max(events, len(live.events()))
+    assert fps["noop"] == fps["untraced"], "null tracer perturbed the fixed point"
+    assert fps["traced"] == fps["untraced"], "live tracer perturbed the fixed point"
+    return {
+        "workload": "cps-id-chain-200-k1",
+        "rounds": _TRACE_OVERHEAD_ROUNDS,
+        "untraced_seconds": round(best["untraced"], 6),
+        "noop_seconds": round(best["noop"], 6),
+        "traced_seconds": round(best["traced"], 6),
+        "noop_ratio": round(best["noop"] / best["untraced"], 4),
+        "traced_ratio": round(best["traced"] / best["untraced"], 4),
+        "trace_events": events,
+    }
+
+
 def run_service_suite() -> dict:
     """Time the service layer: pool sharding, cache hits, warm starts."""
     import tempfile
@@ -562,7 +652,7 @@ def run_service_suite() -> dict:
     with tempfile.TemporaryDirectory() as tmp:
         cache = FixpointCache(root=tmp)
         config = preset_config("1cfa-gc", "lam")
-        program = LAM_PROGRAMS["church-two-two"]
+        program = resolve_workload("lam", "church-two-two")
         cold = reanalyse(config, program, cache)
         hit = reanalyse(config, program, cache)
         assert hit.mode == "cache-hit" and hit.fp == cold.fp
@@ -581,7 +671,7 @@ def run_service_suite() -> dict:
     from repro.core.fixpoint import FixpointCapture
 
     config = preset_config("1cfa", "cps")
-    base = id_chain(WARM_CHAIN_LENGTH)
+    base = resolve_workload("cps", f"id-chain-{WARM_CHAIN_LENGTH}")
     edited = id_chain_edited(WARM_CHAIN_LENGTH)
     capture = FixpointCapture()
     base_result = assemble(config).run(base, capture=capture)
@@ -634,7 +724,7 @@ def run_service_suite() -> dict:
 
 def run_suite() -> dict:
     record: dict = {
-        "schema": "engine-suite/6",
+        "schema": "engine-suite/7",
         "python": sys.version.split()[0],
         "workloads": {},
         "speedups": {},
@@ -674,6 +764,14 @@ def run_suite() -> dict:
         record["speedups"][label] = speedups
     record["schedule"] = run_schedule_suite()
     record["service"] = run_service_suite()
+    trace_row = run_trace_overhead_row()
+    record["observability"] = {"trace-overhead": trace_row}
+    print(
+        f"{'obs-trace-overhead':28s} plain  {trace_row['untraced_seconds']:7.3f}s  "
+        f"noop {trace_row['noop_ratio']:5.2f}x  traced {trace_row['traced_ratio']:5.2f}x "
+        f"({trace_row['trace_events']} events)",
+        file=sys.stderr,
+    )
     return record
 
 
@@ -687,6 +785,7 @@ def check(
     min_sharded_speedup: float = 1.5,
     min_serve_speedup: float = 20.0,
     min_eval_reduction: float = 1.5,
+    min_trace_overhead_ratio: float = 1.10,
 ) -> list[str]:
     """The CI gates.
 
@@ -721,7 +820,12 @@ def check(
       blind-engine chain/loop workloads), and must never exceed
       :data:`_SCHEDULE_NEVER_WORSE` times FIFO's count on *any*
       schedule cell -- counts are hardware-independent, so neither
-      bound ever needs a skip condition.
+      bound ever needs a skip condition;
+    * tracing must stay cheap: on the trace-overhead row an actively
+      recording tracer may cost at most ``min_trace_overhead_ratio``
+      times the plain run, and the no-op path (instrumentation with the
+      null tracer) at most :data:`_NOOP_TRACE_BUDGET` times -- the
+      observability layer's ≤3% promise, measured rather than assumed.
     """
     failures = []
     for label, speedups in record["speedups"].items():
@@ -808,6 +912,20 @@ def check(
                 f"{cell['fifo']['evaluations']}; allowed at most "
                 f"{_SCHEDULE_NEVER_WORSE:.2f}x fifo's count)"
             )
+    trace = record.get("observability", {}).get("trace-overhead")
+    if trace is not None:
+        if trace["traced_ratio"] > min_trace_overhead_ratio:
+            failures.append(
+                f"obs-trace-overhead: live tracing cost {trace['traced_ratio']:.2f}x "
+                f"the plain run on {trace['workload']} "
+                f"(allowed at most {min_trace_overhead_ratio:.2f}x)"
+            )
+        if trace["noop_ratio"] > _NOOP_TRACE_BUDGET:
+            failures.append(
+                f"obs-trace-overhead: the no-op tracing path cost "
+                f"{trace['noop_ratio']:.2f}x the plain run on {trace['workload']} "
+                f"(allowed at most {_NOOP_TRACE_BUDGET:.2f}x)"
+            )
     return failures
 
 
@@ -871,7 +989,8 @@ def main(argv: list[str] | None = None) -> int:
         "server's hot tier below --min-serve-speedup over a cold CLI run, or "
         "the priority schedule below --min-eval-reduction on the gated "
         "chain/loop cells (it must also never beat fifo's evaluation count "
-        "by less than 1/1.05x anywhere)",
+        "by less than 1/1.05x anywhere), or tracing overhead above "
+        "--min-trace-overhead-ratio (live) / 1.03x (no-op path)",
     )
     parser.add_argument("--min-speedup", type=float, default=2.0)
     parser.add_argument("--min-fused-speedup", type=float, default=2.0)
@@ -881,6 +1000,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-warm-speedup", type=float, default=5.0)
     parser.add_argument("--min-serve-speedup", type=float, default=20.0)
     parser.add_argument("--min-eval-reduction", type=float, default=1.5)
+    parser.add_argument(
+        "--min-trace-overhead-ratio",
+        type=float,
+        default=1.10,
+        help="max allowed traced/untraced wall-clock ratio on the "
+        "trace-overhead cell (the no-op bound is fixed at 1.03)",
+    )
     args = parser.parse_args(argv)
 
     output = args.output or next_output_name()
@@ -904,6 +1030,7 @@ def main(argv: list[str] | None = None) -> int:
             min_sharded_speedup=args.min_sharded_speedup,
             min_serve_speedup=args.min_serve_speedup,
             min_eval_reduction=args.min_eval_reduction,
+            min_trace_overhead_ratio=args.min_trace_overhead_ratio,
         )
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)

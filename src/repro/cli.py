@@ -67,10 +67,31 @@ invalid ones exit with the validation message.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from pathlib import Path
 
 from repro.analysis.report import fmt_table, precision_summary
+
+
+@contextlib.contextmanager
+def _tracing(path: str | None, process_name: str = "repro"):
+    """Route the command body's spans to a trace file (no-op without path).
+
+    The artifact is Chrome ``trace_event`` JSON (open in
+    ``chrome://tracing`` or https://ui.perfetto.dev), or JSONL when the
+    path ends in ``.jsonl``.
+    """
+    if not path:
+        yield None
+        return
+    from repro.obs.trace import Tracer, use_tracer
+
+    tracer = Tracer(process_name=process_name)
+    with use_tracer(tracer):
+        yield tracer
+    tracer.write(path)
+    print(f"wrote trace to {path}", file=sys.stderr)
 
 
 def detect_language(path: str, explicit: str | None) -> str:
@@ -93,32 +114,47 @@ def read_source(path: str) -> str:
 def cmd_run(args: argparse.Namespace) -> int:
     lang = detect_language(args.program, args.lang)
     source = read_source(args.program)
-    if lang == "cps":
-        from repro.cps import interpret, parse_program
+    with _tracing(args.trace):
+        from repro.obs.trace import current_tracer
 
-        final = interpret(parse_program(source), max_steps=args.max_steps)
-        print(f"final state: {final!r}")
-    elif lang == "lam":
-        from repro.cesk import evaluate
-        from repro.lam import parse_expr
+        tracer = current_tracer()
+        if lang == "cps":
+            from repro.cps import interpret, parse_program
 
-        value = evaluate(parse_expr(source), max_steps=args.max_steps)
-        print(f"value: {value.lam!r}")
-    elif lang == "imp":
-        from repro.cesk import evaluate
-        from repro.imp import lower_source
+            with tracer.span("parse", cat="prepare", language=lang):
+                program = parse_program(source)
+            with tracer.span("interpret", cat="concrete", language=lang):
+                final = interpret(program, max_steps=args.max_steps)
+            print(f"final state: {final!r}")
+        elif lang == "lam":
+            from repro.cesk import evaluate
+            from repro.lam import parse_expr
 
-        value = evaluate(lower_source(source), max_steps=args.max_steps)
-        print(f"value: {value.lam!r}")
-    else:
-        from repro.fj import evaluate_fj, parse_program, typecheck_program
+            with tracer.span("parse", cat="prepare", language=lang):
+                program = parse_expr(source)
+            with tracer.span("interpret", cat="concrete", language=lang):
+                value = evaluate(program, max_steps=args.max_steps)
+            print(f"value: {value.lam!r}")
+        elif lang == "imp":
+            from repro.cesk import evaluate
+            from repro.imp import lower_source
 
-        program = parse_program(source)
-        check = typecheck_program(program)
-        for warning in check.warnings:
-            print(f"warning: {warning}", file=sys.stderr)
-        value = evaluate_fj(program, max_steps=args.max_steps)
-        print(f"value: new {value.cls}(...)")
+            with tracer.span("parse", cat="prepare", language=lang):
+                program = lower_source(source)
+            with tracer.span("interpret", cat="concrete", language=lang):
+                value = evaluate(program, max_steps=args.max_steps)
+            print(f"value: {value.lam!r}")
+        else:
+            from repro.fj import evaluate_fj, parse_program, typecheck_program
+
+            with tracer.span("parse", cat="prepare", language=lang):
+                program = parse_program(source)
+            check = typecheck_program(program)
+            for warning in check.warnings:
+                print(f"warning: {warning}", file=sys.stderr)
+            with tracer.span("interpret", cat="concrete", language=lang):
+                value = evaluate_fj(program, max_steps=args.max_steps)
+            print(f"value: new {value.cls}(...)")
     return 0
 
 
@@ -217,36 +253,42 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     # imp programs lower into the lam pipeline; the analysis is a lam analysis
     config = _resolve_config(args, "lam" if lang == "imp" else lang)
 
-    if lang == "cps":
-        from repro.cps.parser import parse_program
+    with _tracing(args.trace):
+        from repro.obs.trace import current_tracer
 
-        program = parse_program(source)
-    elif lang in ("lam", "imp"):
-        if lang == "imp":
-            from repro.imp import lower_source
+        with current_tracer().span("parse", cat="prepare", language=lang):
+            if lang == "cps":
+                from repro.cps.parser import parse_program
 
-            program = lower_source(source)
-        else:
-            from repro.lam.parser import parse_expr
+                program = parse_program(source)
+            elif lang in ("lam", "imp"):
+                if lang == "imp":
+                    from repro.imp import lower_source
 
-            program = parse_expr(source)
-    else:
-        from repro.fj.parser import parse_program as parse_fj
-        from repro.fj.typecheck import typecheck_program
+                    program = lower_source(source)
+                else:
+                    from repro.lam.parser import parse_expr
 
-        program = parse_fj(source)
-        check = typecheck_program(program)
-        for warning in check.warnings:
-            print(f"warning: {warning}", file=sys.stderr)
+                    program = parse_expr(source)
+            else:
+                from repro.fj.parser import parse_program as parse_fj
+                from repro.fj.typecheck import typecheck_program
 
-    # the same tier cascade every other front end runs (repro.service.jobs):
-    # without --cache-dir it degrades to exactly the old parse-assemble-run
-    cache = None
-    if args.cache_dir:
-        from repro.service.cache import FixpointCache
+                program = parse_fj(source)
+                check = typecheck_program(program)
+                for warning in check.warnings:
+                    print(f"warning: {warning}", file=sys.stderr)
 
-        cache = FixpointCache(root=args.cache_dir)
-    outcome = _assemble(lambda: dispatch(config=config, program=program, cache=cache))
+        # the same tier cascade every other front end runs (repro.service.jobs):
+        # without --cache-dir it degrades to exactly the old parse-assemble-run
+        cache = None
+        if args.cache_dir:
+            from repro.service.cache import FixpointCache
+
+            cache = FixpointCache(root=args.cache_dir)
+        outcome = _assemble(
+            lambda: dispatch(config=config, program=program, cache=cache)
+        )
     result, seconds = outcome.result, outcome.seconds
     if lang == "fj":
         flows = result.class_flows()
@@ -326,12 +368,13 @@ def cmd_batch(args: argparse.Namespace) -> int:
                     )
                 )
 
-    report = run_batch(
-        jobs,
-        workers=args.jobs,
-        cache_dir=args.cache_dir,
-        use_cache=not args.no_cache,
-    )
+    with _tracing(args.trace):
+        report = run_batch(
+            jobs,
+            workers=args.jobs,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+        )
     rows = [
         (
             outcome.job.describe(),
@@ -406,6 +449,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         hot_entries=args.hot_entries,
         default_timeout=args.timeout,
         intern_limit=args.intern_limit,
+        trace_path=args.trace,
     )
 
     async def main() -> None:
@@ -419,6 +463,79 @@ def cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(main())
     except KeyboardInterrupt:
         pass  # ^C is the interactive shutdown; the server flushed in stop()
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """A ``top``-style view of a running ``repro serve`` (one shot or -w)."""
+    import time
+
+    from repro.serve.client import ServeClient, ServeError
+
+    def fetch() -> dict | str:
+        try:
+            client = ServeClient(port=args.port, host=args.host, timeout=args.timeout)
+        except OSError as error:
+            raise SystemExit(
+                f"cannot reach repro serve at {args.host}:{args.port}: {error}"
+            )
+        with client:
+            try:
+                if args.prometheus:
+                    return client.call("metrics", {})["prometheus"]
+                return client.call("stats", {})
+            except ServeError as error:
+                raise SystemExit(f"{error.name}: {error}")
+
+    shots = args.count if args.watch else 1
+    for shot in range(shots):
+        if shot:
+            time.sleep(args.watch)
+            print()
+        document = fetch()
+        if args.prometheus:
+            print(document, end="")
+            continue
+        print(
+            f"repro serve @ {args.host}:{args.port}  pid {document.get('pid')}  "
+            f"up {document.get('uptime_seconds', 0):.1f}s  "
+            f"workers {document.get('workers')}  "
+            f"inflight {document.get('inflight')}/{document.get('queue_limit')}"
+        )
+        for title, block in (
+            ("requests", document.get("requests", {})),
+            ("tiers", document.get("tiers", {})),
+            ("errors", document.get("errors", {})),
+            ("work", document.get("work", {})),
+        ):
+            if block:
+                body = "  ".join(f"{key} {value}" for key, value in block.items())
+                print(f"{title:>9}: {body}")
+        latency = document.get("latency", {})
+        if latency:
+            rows = [
+                (method, str(cell["count"]), f"{cell['p50']:.6f}", f"{cell['p99']:.6f}")
+                for method, cell in latency.items()
+            ]
+            print(fmt_table(["method", "count", "p50 (s)", "p99 (s)"], rows))
+        hot = document.get("hot") or {}
+        cache = document.get("cache") or {}
+        intern = document.get("intern") or {}
+        print(
+            f"      hot: entries {hot.get('entries', 0)}  hits {hot.get('hits', 0)}  "
+            f"misses {hot.get('misses', 0)}  evictions {hot.get('evictions', 0)}"
+        )
+        if cache:
+            print(
+                f"    cache: entries {cache.get('entries', 0)}  "
+                f"hits {cache.get('hits', 0)}  misses {cache.get('misses', 0)}  "
+                f"stores {cache.get('stores', 0)}"
+            )
+        if intern:
+            print(
+                f"   intern: size {intern.get('size', 0)}  "
+                f"hits {intern.get('hits', 0)}  misses {intern.get('misses', 0)}"
+            )
     return 0
 
 
@@ -476,10 +593,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    trace_help = (
+        "write a structured trace of this command here: Chrome trace_event "
+        "JSON (chrome://tracing, ui.perfetto.dev), or JSONL if the path "
+        "ends in .jsonl"
+    )
+
     run_p = sub.add_parser("run", help="execute with the concrete machine")
     run_p.add_argument("program", help="source file, or - for stdin")
     run_p.add_argument("--lang", choices=("cps", "lam", "fj", "imp"))
     run_p.add_argument("--max-steps", type=int, default=100_000)
+    run_p.add_argument("--trace", default=None, metavar="FILE", help=trace_help)
     run_p.set_defaults(fn=cmd_run)
 
     an_p = sub.add_parser("analyze", help="run an abstract interpretation")
@@ -559,6 +683,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="consult (and fill) a fixpoint cache directory, like batch does",
     )
+    an_p.add_argument("--trace", default=None, metavar="FILE", help=trace_help)
     an_p.set_defaults(fn=cmd_analyze)
 
     batch_p = sub.add_parser(
@@ -608,6 +733,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="include full flow tables in the report (larger output)",
     )
+    batch_p.add_argument("--trace", default=None, metavar="FILE", help=trace_help)
     batch_p.set_defaults(fn=cmd_batch)
 
     fuzz_p = sub.add_parser(
@@ -691,7 +817,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="clear the intern pool (and hot tier) when it exceeds this "
         "many canonical terms; default unbounded",
     )
+    serve_p.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="collect a lifetime trace of every served request's analysis "
+        "phases; written on graceful shutdown (" + trace_help + ")",
+    )
     serve_p.set_defaults(fn=cmd_serve)
+
+    stats_p = sub.add_parser(
+        "stats",
+        help="top-style view of a running repro serve: requests, tiers, "
+        "latency percentiles, hot/cache/intern occupancy",
+    )
+    stats_p.add_argument("--host", default="127.0.0.1")
+    stats_p.add_argument("--port", type=int, required=True)
+    stats_p.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="refresh every SECONDS (with --count shots; default one shot)",
+    )
+    stats_p.add_argument(
+        "--count",
+        type=int,
+        default=10,
+        help="shots to take under --watch (default 10)",
+    )
+    stats_p.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="print the raw Prometheus text exposition (the metrics method) "
+        "instead of the rendered view",
+    )
+    stats_p.add_argument(
+        "--timeout", type=float, default=60.0, help="socket timeout in seconds"
+    )
+    stats_p.set_defaults(fn=cmd_stats)
 
     client_p = sub.add_parser(
         "client",
@@ -700,7 +864,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     client_p.add_argument(
         "method",
-        choices=("ping", "analyse", "reanalyse", "batch", "stats", "shutdown"),
+        choices=(
+            "ping",
+            "analyse",
+            "reanalyse",
+            "batch",
+            "stats",
+            "metrics",
+            "shutdown",
+        ),
     )
     client_p.add_argument(
         "program",

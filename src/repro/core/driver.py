@@ -22,6 +22,8 @@ from typing import Any, Callable
 
 from repro.core.collecting import PerStateStoreCollecting, SharedStoreCollecting
 from repro.core.fused import FusedTransition
+from repro.obs.metrics import default_registry
+from repro.obs.trace import current_tracer
 from repro.core.fixpoint import (
     ENGINES,
     STORE_IMPLS,
@@ -137,22 +139,47 @@ def run_engine_analysis(
     drains the worklist in dependency-rank order (same fixed point,
     fewer evaluations on chain/loop shapes).  ``trace`` collects the
     sequential evaluation order (see ``global_store_explore``).
+
+    Observability sits here, *around* the engines, never inside them:
+    one ``fixpoint`` span per analysis, and the run's ``last_stats``
+    counters folded into the process registry afterwards -- O(1) per
+    analysis, zero work in the per-evaluation hot loop.
     """
     analysis.last_stats = {}
-    return run_with_engine(
-        analysis.engine,
-        analysis.collecting,
-        analysis.step(),
-        initial_state,
-        max_steps=max_steps,
-        stats=analysis.last_stats,
-        warm_start=warm_start,
-        capture=capture,
-        parallelism=getattr(analysis, "parallelism", "none"),
-        shards=getattr(analysis, "shards", 1),
-        schedule=getattr(analysis, "schedule", "fifo"),
-        trace=trace,
-    )
+    with current_tracer().span(
+        "fixpoint", cat="engine", engine=analysis.engine
+    ):
+        fp = run_with_engine(
+            analysis.engine,
+            analysis.collecting,
+            analysis.step(),
+            initial_state,
+            max_steps=max_steps,
+            stats=analysis.last_stats,
+            warm_start=warm_start,
+            capture=capture,
+            parallelism=getattr(analysis, "parallelism", "none"),
+            shards=getattr(analysis, "shards", 1),
+            schedule=getattr(analysis, "schedule", "fifo"),
+            trace=trace,
+        )
+    _fold_engine_stats(analysis.engine, analysis.last_stats)
+    return fp
+
+
+def _fold_engine_stats(engine: str, stats: dict) -> None:
+    """Mirror one finished run's counters into the process registry.
+
+    The engines keep filling their plain ``stats`` dict (the per-run
+    report surface); this fold is what makes the same numbers visible
+    as cumulative process-wide series (``repro stats``, benchmarks).
+    """
+    registry = default_registry()
+    registry.counter("engine_analyses_total", engine=engine).inc()
+    for key in ("evaluations", "retriggers", "reused", "dedup_hits"):
+        value = stats.get(key) or 0
+        if value:
+            registry.counter(f"engine_{key}_total", engine=engine).inc(value)
 
 
 def run_with_engine(

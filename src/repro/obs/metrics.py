@@ -1,0 +1,353 @@
+"""The process-wide metrics registry: counters, gauges, timers, histograms.
+
+One :class:`MetricsRegistry` is the single home for a family of named
+instruments.  Each instrument is identified by a metric *name* plus an
+optional sorted label set (Prometheus-style), so
+``registry.counter("serve_requests_total", method="analyse")`` and the
+same call with ``method="batch"`` are two series under one name.
+
+Four instrument kinds, deliberately minimal:
+
+* :class:`Counter` -- monotone ``inc``; the only kind the reconciliation
+  tests compare across export surfaces.
+* :class:`Gauge` -- ``set`` a point-in-time value, or construct with a
+  zero-argument callback so the current value is *pulled* at snapshot
+  time (how the intern pool size is exposed without the pool importing
+  this module).
+* :class:`Histogram` -- bounded sample reservoir with nearest-rank
+  percentiles; the one :func:`percentile` implementation here also backs
+  the resident server's p50/p99 (``repro.serve.metrics`` imports it).
+* :class:`Timer` -- a histogram of seconds plus a context manager, for
+  phase durations where only aggregate timing (not a trace) is wanted.
+
+Thread-safety: one lock per registry guards series creation; each
+instrument guards its own mutation.  Increments are a lock acquire and
+an integer add -- cheap enough to mirror hot-path counters (cache hits,
+tier dispatch) without a measurable cost, but still kept out of the
+per-evaluation engine loop (engines fill a plain ``stats`` dict; the
+driver folds it into the registry once per analysis).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Iterator
+from contextlib import contextmanager
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    """The nearest-rank percentile of a sample list (0 for no samples)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def _series_key(name: str, labels: dict[str, str]) -> tuple:
+    return (name, tuple(sorted(labels.items())))
+
+
+class Counter:
+    """A monotone counter (one labeled series)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative: counters only go up)."""
+        if amount < 0:
+            raise ValueError("counters are monotone; use a gauge to go down")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        """The current count."""
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A point-in-time value: ``set`` it, or supply a pull callback."""
+
+    __slots__ = ("_lock", "_value", "_callback")
+
+    def __init__(self, callback: Callable[[], float] | None = None) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._callback = callback
+
+    def set(self, value: float) -> None:
+        """Record the current value (ignored for callback gauges)."""
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self) -> float:
+        """The current value (pulled from the callback when one is set)."""
+        if self._callback is not None:
+            return self._callback()
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """A bounded reservoir of observations with nearest-rank percentiles.
+
+    Older samples roll off past :data:`MAX_SAMPLES` so a long-lived
+    process's percentiles stay O(1) and current -- the same discipline
+    the resident server's latency samples have always followed.
+    ``count`` and ``sum`` keep counting past the rolloff.
+    """
+
+    __slots__ = ("_lock", "_samples", "_count", "_sum")
+
+    #: Samples kept for the percentiles; older samples roll off.
+    MAX_SAMPLES = 1024
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._samples: list[float] = []
+        self._count = 0
+        self._sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            self._samples.append(value)
+            if len(self._samples) > self.MAX_SAMPLES:
+                del self._samples[: len(self._samples) - self.MAX_SAMPLES]
+
+    def percentile(self, fraction: float) -> float:
+        """The nearest-rank percentile over the retained samples."""
+        with self._lock:
+            return percentile(self._samples, fraction)
+
+    @property
+    def count(self) -> int:
+        """Observations ever made (not capped by the reservoir)."""
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observations ever made."""
+        with self._lock:
+            return self._sum
+
+    def samples(self) -> list[float]:
+        """A copy of the retained samples (for custom summaries)."""
+        with self._lock:
+            return list(self._samples)
+
+
+class Timer:
+    """A histogram of seconds with a ``with``-block convenience."""
+
+    __slots__ = ("histogram",)
+
+    def __init__(self) -> None:
+        self.histogram = Histogram()
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        """Observe the wall-clock duration of the ``with`` body."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.histogram.observe(time.perf_counter() - start)
+
+    def observe(self, seconds: float) -> None:
+        """Record an externally measured duration."""
+        self.histogram.observe(seconds)
+
+
+class MetricsRegistry:
+    """A named family of instruments with snapshot and Prometheus export.
+
+    Series are get-or-created: the first ``counter(name, **labels)``
+    call creates the series, later calls return the same object, so
+    call sites never need to pre-register.  A ``kind`` collision (the
+    same name used as both counter and gauge) is a programming error
+    and raises.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._series: dict[tuple, tuple[str, Any]] = {}
+        self._help: dict[str, str] = {}
+
+    def _get(self, kind: str, name: str, labels: dict, factory: Callable) -> Any:
+        key = _series_key(name, labels)
+        with self._lock:
+            entry = self._series.get(key)
+            if entry is None:
+                instrument = factory()
+                self._series[key] = (kind, instrument)
+                return instrument
+            existing_kind, instrument = entry
+            if existing_kind != kind:
+                raise TypeError(
+                    f"metric {name!r} already registered as {existing_kind}, "
+                    f"requested as {kind}"
+                )
+            return instrument
+
+    def describe(self, name: str, help_text: str) -> None:
+        """Attach a HELP line to a metric name (Prometheus export only)."""
+        with self._lock:
+            self._help[name] = help_text
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        """Get or create the counter series ``name{labels}``."""
+        return self._get("counter", name, labels, Counter)
+
+    def gauge(
+        self, name: str, callback: Callable[[], float] | None = None, **labels: str
+    ) -> Gauge:
+        """Get or create the gauge series ``name{labels}``.
+
+        A ``callback`` supplied on the creating call makes this a pull
+        gauge; on later calls it is ignored (the series already exists).
+        """
+        return self._get("gauge", name, labels, lambda: Gauge(callback))
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        """Get or create the histogram series ``name{labels}``."""
+        return self._get("histogram", name, labels, Histogram)
+
+    def timer(self, name: str, **labels: str) -> Timer:
+        """Get or create the timer series ``name{labels}``."""
+        return self._get("timer", name, labels, Timer)
+
+    def _sorted_series(self) -> list[tuple[str, tuple, str, Any]]:
+        with self._lock:
+            items = [
+                (name, label_items, kind, instrument)
+                for (name, label_items), (kind, instrument) in self._series.items()
+            ]
+        return sorted(items, key=lambda row: (row[0], row[1]))
+
+    def snapshot(self) -> dict:
+        """Every series' current value as one nested, sorted document.
+
+        Shape: ``{name: {labelset: value}}`` where ``labelset`` is the
+        ``k=v,...`` rendering (empty string for unlabeled series) and
+        ``value`` is an int/float for counters and gauges, or a
+        ``{count, sum, p50, p99}`` dict for histograms and timers.
+        """
+        doc: dict[str, dict[str, Any]] = {}
+        for name, label_items, kind, instrument in self._sorted_series():
+            labelset = ",".join(f"{k}={v}" for k, v in label_items)
+            if kind in ("histogram", "timer"):
+                hist = instrument.histogram if kind == "timer" else instrument
+                value: Any = {
+                    "count": hist.count,
+                    "sum": round(hist.sum, 6),
+                    "p50": round(hist.percentile(0.50), 6),
+                    "p99": round(hist.percentile(0.99), 6),
+                }
+            else:
+                value = instrument.value
+            doc.setdefault(name, {})[labelset] = value
+        return doc
+
+    def prometheus(self) -> str:
+        """The registry in Prometheus text exposition format (version 0.0.4).
+
+        Histograms and timers export as ``<name>_count``/``<name>_sum``
+        plus nearest-rank ``{quantile="..."}`` series (summary-style);
+        counters and gauges export as-is.  Series are emitted in sorted
+        (name, labelset) order so the output is deterministic for tests.
+        """
+        lines: list[str] = []
+        last_name = None
+        with self._lock:
+            help_texts = dict(self._help)
+        for name, label_items, kind, instrument in self._sorted_series():
+            if name != last_name:
+                help_text = help_texts.get(name)
+                if help_text:
+                    lines.append(f"# HELP {name} {help_text}")
+                prom_type = "summary" if kind in ("histogram", "timer") else kind
+                lines.append(f"# TYPE {name} {prom_type}")
+                last_name = name
+            labels = dict(label_items)
+            if kind in ("histogram", "timer"):
+                hist = instrument.histogram if kind == "timer" else instrument
+                for quantile in (0.5, 0.99):
+                    q_labels = dict(labels, quantile=str(quantile))
+                    lines.append(
+                        f"{name}{_render_labels(q_labels)} "
+                        f"{_render_value(hist.percentile(quantile))}"
+                    )
+                lines.append(
+                    f"{name}_count{_render_labels(labels)} {hist.count}"
+                )
+                lines.append(
+                    f"{name}_sum{_render_labels(labels)} {_render_value(hist.sum)}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_render_labels(labels)} "
+                    f"{_render_value(instrument.value)}"
+                )
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def reset(self) -> None:
+        """Drop every series (tests and long-lived process hygiene)."""
+        with self._lock:
+            self._series.clear()
+
+
+def _render_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label(str(value))}"' for key, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_value(value: float) -> str:
+    if isinstance(value, bool):  # pragma: no cover - guards accidental bools
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+#: The process-wide registry CLI runs and the engine driver fold into.
+#: The resident server deliberately does *not* use it for its request
+#: counters -- each server owns a private registry so parallel test
+#: servers in one process cannot bleed into each other.
+_DEFAULT = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry (one per interpreter).
+
+    Use installs the process-level pull gauges (currently the intern
+    pool's size/hits/misses) when absent -- lazily, so importing this
+    module costs nothing, and idempotently, so a test that ``reset()``s
+    the default registry gets them back on the next call here.
+    """
+    if ("intern_pool_size", ()) not in _DEFAULT._series:
+        from repro.util.intern import register_metrics
+
+        register_metrics(_DEFAULT)
+    return _DEFAULT

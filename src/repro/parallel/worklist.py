@@ -78,6 +78,8 @@ from typing import Any, Callable
 
 from repro.core.schedule import deal_slices
 from repro.core.store import ShardOverlay
+from repro.obs.metrics import default_registry
+from repro.obs.trace import current_tracer
 
 
 def sharded_explore(
@@ -139,6 +141,7 @@ def sharded_explore(
             out.append((config, overlay.reads, overlay.written(), pairs))
         return out
 
+    tracer = current_tracer()
     pool = ThreadPoolExecutor(max_workers=shards) if shards > 1 else None
     try:
         while pending:
@@ -151,45 +154,52 @@ def sharded_explore(
                 raise _diverged(max_evals)
 
             slices = deal_slices(batch, shards, schedule, ranks)
-            if pool is not None and len(slices) > 1:
-                results = list(pool.map(evaluate, slices))
-            else:
-                results = [evaluate(s) for s in slices]
+            with tracer.span(
+                "evaluate-round", cat="parallel", round=rounds, frontier=len(batch)
+            ):
+                if pool is not None and len(slices) > 1:
+                    results = list(pool.map(evaluate, slices))
+                else:
+                    results = [evaluate(s) for s in slices]
 
             # barrier: merge in deterministic (shard, position) order --
             # not that order matters for the fixed point, but it keeps
             # the changelog (and hence the stats trajectory) reproducible
-            mark = mstore.mark()
-            queued: set = set()
-            for slice_results in results:
-                for config, reads, written, pairs in slice_results:
-                    for addr in reads:
-                        deps.setdefault(addr, set()).add(config)
-                    for addr, entry in written.items():
-                        base_store.merge_entry(mstore, addr, entry)
-                    for pair in pairs:
-                        if pair not in seen:
-                            seen.add(pair)
-                            rank = ranks.get(config, 0) + 1
-                            ranks[pair] = rank
-                            if rank > max_rank:
-                                max_rank = rank
-                            queued.add(pair)
-                            pending.append(pair)
+            with tracer.span("merge-barrier", cat="parallel", round=rounds):
+                mark = mstore.mark()
+                queued: set = set()
+                for slice_results in results:
+                    for config, reads, written, pairs in slice_results:
+                        for addr in reads:
+                            deps.setdefault(addr, set()).add(config)
+                        for addr, entry in written.items():
+                            base_store.merge_entry(mstore, addr, entry)
+                        for pair in pairs:
+                            if pair not in seen:
+                                seen.add(pair)
+                                rank = ranks.get(config, 0) + 1
+                                ranks[pair] = rank
+                                if rank > max_rank:
+                                    max_rank = rank
+                                queued.add(pair)
+                                pending.append(pair)
 
-            for addr in set(mstore.changed_since(mark)):
-                for reader in deps.get(addr, ()):
-                    if reader not in queued:
-                        queued.add(reader)
-                        pending.append(reader)
-                        retriggers += 1
-                    else:
-                        dedup_hits += 1
+                for addr in set(mstore.changed_since(mark)):
+                    for reader in deps.get(addr, ()):
+                        if reader not in queued:
+                            queued.add(reader)
+                            pending.append(reader)
+                            retriggers += 1
+                        else:
+                            dedup_hits += 1
     finally:
         if pool is not None:
             pool.shutdown()
 
     frozen = base_store.freeze(mstore)
+    registry = default_registry()
+    registry.counter("parallel_rounds_total").inc(rounds)
+    registry.gauge("parallel_peak_frontier").set(peak_frontier)
     if stats is not None:
         stats.update(
             evaluations=evals,

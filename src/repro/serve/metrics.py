@@ -1,10 +1,14 @@
 """The resident server's counter surface (the ``stats`` method's backing).
 
 One :class:`ServerMetrics` instance per server, shared by every worker
-thread, so there is exactly one place request counts, per-tier serving
-counts, error counts, and latency percentiles accumulate -- the same
-single-counter-source discipline the fixpoint cache follows (its
-``lifetime`` block), extended to the protocol layer.
+thread.  Since PR 10 it is a thin *view* over a private
+:class:`repro.obs.metrics.MetricsRegistry`: every request/tier/error
+count and latency sample lives in one registry series, and both export
+surfaces -- the JSON ``stats`` document and the Prometheus ``metrics``
+text -- read the *same* counter objects, which is what makes the two
+reconcile exactly (a property CI scrapes for).  The registry is private
+per server, not the process-wide default, so parallel test servers in
+one interpreter cannot bleed counts into each other.
 
 Counting discipline (load-bearing for the golden protocol tests):
 requests are counted at *receipt* and errors/tiers/latencies at
@@ -20,16 +24,10 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import defaultdict
 
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry, percentile
 
-def percentile(samples: list[float], fraction: float) -> float:
-    """The nearest-rank percentile of a sample list (0 for no samples)."""
-    if not samples:
-        return 0.0
-    ordered = sorted(samples)
-    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
-    return ordered[rank]
+__all__ = ["ServerMetrics", "percentile"]
 
 
 class ServerMetrics:
@@ -37,33 +35,56 @@ class ServerMetrics:
 
     #: Per-method latency samples kept for the percentiles; older samples
     #: roll off so a long-lived daemon's stats stay O(1) and current.
-    MAX_SAMPLES = 1024
+    MAX_SAMPLES = Histogram.MAX_SAMPLES
 
-    def __init__(self) -> None:
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._lock = threading.Lock()
         self._started = time.monotonic()
-        self.requests: dict[str, int] = defaultdict(int)
-        self.errors: dict[str, int] = defaultdict(int)
-        self.tiers: dict[str, int] = defaultdict(int)
-        self._latencies: dict[str, list[float]] = defaultdict(list)
-        self._evaluations = 0
-        self._dedup_hits = 0
-        self._max_rank = 0
+        # label -> instrument maps: the instruments live in the registry
+        # (so ``prometheus()`` sees them); these dicts only memoize the
+        # lookup and remember which labels have appeared, in order.
+        self._requests: dict[str, Counter] = {}
+        self._errors: dict[str, Counter] = {}
+        self._tiers: dict[str, Counter] = {}
+        self._latencies: dict[str, Histogram] = {}
+        self._evaluations = self.registry.counter("serve_work_evaluations_total")
+        self._dedup_hits = self.registry.counter("serve_work_dedup_hits_total")
+        self._max_rank = self.registry.gauge("serve_work_max_rank")
+        self.registry.describe(
+            "serve_requests_total", "Requests received, by protocol method."
+        )
+        self.registry.describe(
+            "serve_errors_total", "Error responses sent, by protocol error name."
+        )
+        self.registry.describe(
+            "serve_tier_total", "Jobs answered, by serving tier (hot|disk|warm|cold)."
+        )
+        self.registry.describe(
+            "serve_latency_seconds", "Wall-clock service time, by protocol method."
+        )
+
+    def _labeled(
+        self, cache: dict[str, Counter], name: str, label_key: str, label: str
+    ) -> Counter:
+        with self._lock:
+            counter = cache.get(label)
+            if counter is None:
+                counter = self.registry.counter(name, **{label_key: label})
+                cache[label] = counter
+            return counter
 
     def record_request(self, method: str) -> None:
         """Count one request at receipt (before any validation or work)."""
-        with self._lock:
-            self.requests[method] += 1
+        self._labeled(self._requests, "serve_requests_total", "method", method).inc()
 
     def record_error(self, name: str) -> None:
         """Count one error response by its stable protocol name."""
-        with self._lock:
-            self.errors[name] += 1
+        self._labeled(self._errors, "serve_errors_total", "error", name).inc()
 
     def record_tier(self, tier: str) -> None:
         """Count which tier answered (hot | disk | warm | cold)."""
-        with self._lock:
-            self.tiers[tier] += 1
+        self._labeled(self._tiers, "serve_tier_total", "tier", tier).inc()
 
     def record_work(self, stats: dict) -> None:
         """Accumulate one outcome's engine-work counters (handler side).
@@ -75,20 +96,23 @@ class ServerMetrics:
         observable from the ``stats`` method without touching per-job
         report rows.
         """
+        self._evaluations.inc(stats.get("evaluations") or 0)
+        self._dedup_hits.inc(stats.get("dedup_hits") or 0)
+        rank = stats.get("max_rank") or 0
         with self._lock:
-            self._evaluations += stats.get("evaluations") or 0
-            self._dedup_hits += stats.get("dedup_hits") or 0
-            rank = stats.get("max_rank") or 0
-            if rank > self._max_rank:
-                self._max_rank = rank
+            if rank > self._max_rank.value:
+                self._max_rank.set(rank)
 
     def record_latency(self, method: str, seconds: float) -> None:
         """Record one successful request's wall-clock service time."""
         with self._lock:
-            samples = self._latencies[method]
-            samples.append(seconds)
-            if len(samples) > self.MAX_SAMPLES:
-                del samples[: len(samples) - self.MAX_SAMPLES]
+            histogram = self._latencies.get(method)
+            if histogram is None:
+                histogram = self.registry.histogram(
+                    "serve_latency_seconds", method=method
+                )
+                self._latencies[method] = histogram
+        histogram.observe(seconds)
 
     def snapshot(self) -> dict:
         """One consistent stats document (the ``stats`` method's core).
@@ -97,22 +121,38 @@ class ServerMetrics:
         for any consumer, and it keeps the document shape stable.
         """
         with self._lock:
+            requests = {m: c.value for m, c in sorted(self._requests.items())}
+            errors = {n: c.value for n, c in sorted(self._errors.items())}
+            tiers = {t: c.value for t, c in sorted(self._tiers.items())}
+            latency = {}
+            for method, histogram in sorted(self._latencies.items()):
+                samples = histogram.samples()
+                latency[method] = {
+                    "count": len(samples),
+                    "p50": round(percentile(samples, 0.50), 6),
+                    "p99": round(percentile(samples, 0.99), 6),
+                }
             return {
                 "uptime_seconds": round(time.monotonic() - self._started, 6),
-                "requests": dict(sorted(self.requests.items())),
-                "errors": dict(sorted(self.errors.items())),
-                "tiers": dict(sorted(self.tiers.items())),
+                "requests": requests,
+                "errors": errors,
+                "tiers": tiers,
                 "work": {
-                    "evaluations": self._evaluations,
-                    "dedup_hits": self._dedup_hits,
-                    "max_rank": self._max_rank,
+                    "evaluations": self._evaluations.value,
+                    "dedup_hits": self._dedup_hits.value,
+                    "max_rank": int(self._max_rank.value),
                 },
-                "latency": {
-                    method: {
-                        "count": len(samples),
-                        "p50": round(percentile(samples, 0.50), 6),
-                        "p99": round(percentile(samples, 0.99), 6),
-                    }
-                    for method, samples in sorted(self._latencies.items())
-                },
+                "latency": latency,
             }
+
+    def prometheus(self) -> str:
+        """The same counters in Prometheus text exposition format.
+
+        Reads the identical registry series ``snapshot`` reads, so a
+        scraper's view reconciles exactly with the ``stats`` method
+        (the CI server-smoke job asserts this).
+        """
+        self.registry.gauge("serve_uptime_seconds").set(
+            round(time.monotonic() - self._started, 6)
+        )
+        return self.registry.prometheus()

@@ -60,7 +60,9 @@ ERROR_NAMES = {
 
 #: The method surface.  ``analyse`` and ``reanalyse`` differ in exactly
 #: one bit: ``reanalyse`` enables the exactness-gated warm-start tier.
-METHODS = ("ping", "analyse", "reanalyse", "batch", "stats", "shutdown")
+#: ``metrics`` is the Prometheus twin of ``stats``: same counters, text
+#: exposition format, for scrapers watching a resident server.
+METHODS = ("ping", "analyse", "reanalyse", "batch", "stats", "metrics", "shutdown")
 
 
 class ProtocolError(Exception):

@@ -57,6 +57,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 
+from repro.obs.trace import NULL_TRACER, Tracer, current_tracer, use_tracer
 from repro.serve import protocol
 from repro.serve.metrics import ServerMetrics
 from repro.serve.protocol import ProtocolError, error_response, result_response
@@ -75,8 +76,11 @@ _ANALYSE_PARAMS = {
     "label",
     "include_flows",
     "timeout",
+    "trace",
 }
-_JOB_PARAMS = _ANALYSE_PARAMS - {"include_flows", "timeout"}
+#: Per-request (not per-job) params, stripped before job validation.
+_REQUEST_ONLY_PARAMS = {"include_flows", "timeout", "trace"}
+_JOB_PARAMS = _ANALYSE_PARAMS - _REQUEST_ONLY_PARAMS
 
 
 class AnalysisServer:
@@ -92,6 +96,7 @@ class AnalysisServer:
         hot_entries: int = 256,
         default_timeout: float | None = None,
         intern_limit: int | None = None,
+        trace_path: str | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("the server needs at least one worker thread")
@@ -106,6 +111,11 @@ class AnalysisServer:
         self.cache = FixpointCache(root=cache_dir) if cache_dir else None
         self.hot = HotTier(max_entries=hot_entries)
         self.metrics = ServerMetrics()
+        # lifetime tracer behind ``repro serve --trace FILE``: worker
+        # threads inherit it through the process-default indirection
+        # (see repro.obs.trace); the file is written on graceful stop
+        self.trace_path = trace_path
+        self.tracer = Tracer(process_name="repro-serve") if trace_path else None
         self._pool: ThreadPoolExecutor | None = None
         self._server: asyncio.base_events.Server | None = None
         self._stop_event: asyncio.Event | None = None
@@ -118,6 +128,10 @@ class AnalysisServer:
 
     async def start(self) -> None:
         """Bind the listening socket (port 0 picks a free one) and pool."""
+        if self.tracer is not None:
+            from repro.obs.trace import set_default_tracer
+
+            set_default_tracer(self.tracer)
         self._stop_event = asyncio.Event()
         self._pool = ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="repro-serve"
@@ -164,6 +178,11 @@ class AnalysisServer:
             self._pool.shutdown(wait=True, cancel_futures=True)
         if self.cache is not None:
             self.cache.flush_stats()
+        if self.tracer is not None:
+            from repro.obs.trace import set_default_tracer
+
+            set_default_tracer(NULL_TRACER)
+            self.tracer.write(self.trace_path)
 
     async def serve_forever(self) -> None:
         """The blocking entry ``repro serve`` runs."""
@@ -221,6 +240,12 @@ class AnalysisServer:
             response = result_response(request_id, {"pong": True})
         elif method == "stats":
             response = result_response(request_id, self._stats())
+        elif method == "metrics":
+            # the Prometheus twin of stats: same registry, text format,
+            # answered loop-side so a scraper never queues behind work
+            response = result_response(
+                request_id, {"prometheus": self.metrics.prometheus()}
+            )
         elif method == "shutdown":
             # answer first, then trip the stop event (the caller's
             # response must reach the wire before the socket closes)
@@ -319,7 +344,7 @@ class AnalysisServer:
 
     def _job_from(self, spec: dict, allowed: set | None = None):
         allowed = allowed if allowed is not None else _JOB_PARAMS
-        unknown = sorted(set(spec) - allowed - {"include_flows", "timeout"})
+        unknown = sorted(set(spec) - allowed - _REQUEST_ONLY_PARAMS)
         if unknown:
             raise ValueError(
                 f"unknown request param(s) {unknown}; "
@@ -341,12 +366,25 @@ class AnalysisServer:
         )
 
     def _run_analyse(self, params: dict, allow_warm: bool) -> tuple[dict, list, list]:
-        """One job through the shared dispatch cascade (worker thread)."""
+        """One job through the shared dispatch cascade (worker thread).
+
+        A truthy ``trace`` param routes this request's spans into a
+        fresh per-request tracer whose events come back on the response
+        row (additive ``trace`` field) -- the fixed point itself is
+        bit-identical, traced or not (pinned corpus-wide by the
+        trace-integrity tests).
+        """
         job = self._job_from(params)
-        outcome = dispatch(
-            job=job, cache=self.cache, hot=self.hot, allow_warm=allow_warm
-        )
+        request_tracer = Tracer(process_name="repro-serve") if params.get("trace") else None
+        with use_tracer(request_tracer) if request_tracer else contextlib.nullcontext():
+            method = "reanalyse" if allow_warm else "analyse"
+            with current_tracer().span("serve." + method, cat="serve", label=job.label):
+                outcome = dispatch(
+                    job=job, cache=self.cache, hot=self.hot, allow_warm=allow_warm
+                )
         row = outcome_row(outcome, include_flows=bool(params.get("include_flows")))
+        if request_tracer is not None:
+            row["trace"] = request_tracer.events()
         return row, [outcome.tier], [outcome.stats]
 
     def _run_batch(self, params: dict) -> tuple[dict, list, list]:
@@ -362,14 +400,19 @@ class AnalysisServer:
         if not isinstance(specs, list) or not specs:
             raise ValueError("batch needs a non-empty 'jobs' list")
         include_flows = bool(params.get("include_flows"))
+        request_tracer = Tracer(process_name="repro-serve") if params.get("trace") else None
         started = time.perf_counter()
         outcomes = []
-        for spec in specs:
-            if not isinstance(spec, dict):
-                raise ValueError("each batch job must be an object")
-            outcomes.append(
-                dispatch(job=self._job_from(spec), cache=self.cache, hot=self.hot)
-            )
+        with use_tracer(request_tracer) if request_tracer else contextlib.nullcontext():
+            with current_tracer().span("serve.batch", cat="serve", jobs=len(specs)):
+                for spec in specs:
+                    if not isinstance(spec, dict):
+                        raise ValueError("each batch job must be an object")
+                    outcomes.append(
+                        dispatch(
+                            job=self._job_from(spec), cache=self.cache, hot=self.hot
+                        )
+                    )
         report = {
             "schema": "batch-report/1",
             "jobs": [
@@ -382,6 +425,8 @@ class AnalysisServer:
             "total_seconds": round(time.perf_counter() - started, 6),
             "cache": self.cache.stats() if self.cache is not None else None,
         }
+        if request_tracer is not None:
+            report["trace"] = request_tracer.events()
         return report, [outcome.tier for outcome in outcomes], [
             outcome.stats for outcome in outcomes
         ]

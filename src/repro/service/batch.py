@@ -65,6 +65,8 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.analysis.report import render_json
+from repro.obs.metrics import default_registry
+from repro.obs.trace import current_tracer
 from repro.service.cache import (
     PAYLOAD_SCHEMA,
     FixpointCache,
@@ -330,6 +332,20 @@ def run_batch(
         # the lifetime counters (and per-entry hit recency) must survive
         # hit-only invocations too, not just ones that put
         cache.flush_stats()
+    current_tracer().event(
+        "batch.complete",
+        cat="batch",
+        jobs=len(jobs),
+        pool_workers=pool_workers,
+        inline_fallbacks=inline_fallbacks,
+    )
+    registry = default_registry()
+    registry.counter("batch_jobs_total").inc(len(jobs))
+    if pool_workers:
+        registry.counter("batch_pool_engaged_total").inc()
+        registry.gauge("batch_pool_workers").set(pool_workers)
+    if inline_fallbacks:
+        registry.counter("batch_inline_fallbacks_total").inc(inline_fallbacks)
     return BatchReport(
         outcomes=[outcome for outcome in outcomes if outcome is not None],
         workers=workers,

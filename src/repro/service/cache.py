@@ -41,6 +41,7 @@ from typing import Any, Mapping
 from repro.analysis.report import render_json
 from repro.config import AnalysisConfig
 from repro.core.fixpoint import WarmStart
+from repro.obs.metrics import default_registry
 from repro.util.intern import decompose, rehydrate
 
 #: Bump when the pickle payload layout changes; mismatched entries are
@@ -283,6 +284,13 @@ class FixpointCache:
         # itself, so they live in a sidecar loaded only on demand
         return self.objects_dir / f"{key}.records.pkl"
 
+    def _count(self, counter: str) -> None:
+        # the instance attribute stays authoritative (BatchReport and the
+        # persisted lifetime block read it); the process registry gets a
+        # mirrored increment so `repro stats` sees cache traffic too
+        setattr(self, counter, getattr(self, counter) + 1)
+        default_registry().counter("cache_events_total", kind=counter).inc()
+
     # -- the cache protocol ------------------------------------------------
 
     def get(
@@ -310,7 +318,7 @@ class FixpointCache:
         meta = self._index.get(key)
         if meta is None:
             if count:
-                self.misses += 1
+                self._count("misses")
             return None
         path = self._object_path(key)
         ensure_deep_pickle()
@@ -322,12 +330,12 @@ class FixpointCache:
             # back): forget it so e.g. latest_for cannot keep selecting a
             # ghost donor, and report a miss rather than crash
             if count:
-                self.misses += 1
+                self._count("misses")
             self._forget(key)
             return None
         if not isinstance(payload, dict) or payload.get("schema") != PAYLOAD_SCHEMA:
             if count:
-                self.misses += 1
+                self._count("misses")
             self._forget(key)
             return None
         records = program = None
@@ -347,7 +355,7 @@ class FixpointCache:
         # records and program share canonical representatives
         fp, records, program = rehydrate((payload["fp"], records, program))
         if count:
-            self.hits += 1
+            self._count("hits")
             meta["hits"] = meta.get("hits", 0) + 1
             meta["last_used"] = self._now()
         return CachedFixpoint(
@@ -400,7 +408,7 @@ class FixpointCache:
                 "has_records": bool(records),
                 "seconds": round(seconds, 6) if seconds is not None else None,
             }
-            self.stores += 1
+            self._count("stores")
             self._evict_over_budget()
             self._write_index()
         return key
@@ -449,7 +457,7 @@ class FixpointCache:
                 "has_records": records_blob is not None,
                 "seconds": round(seconds, 6) if seconds is not None else None,
             }
-            self.stores += 1
+            self._count("stores")
             self._evict_over_budget()
             self._write_index()
         return key
@@ -541,7 +549,7 @@ class FixpointCache:
             self._index.pop(key)
             self._object_path(key).unlink(missing_ok=True)
             self._records_path(key).unlink(missing_ok=True)
-            self.evictions += 1
+            self._count("evictions")
 
     @staticmethod
     def _now() -> float:

@@ -41,6 +41,8 @@ from typing import Any
 from repro.analysis.report import result_summary
 from repro.config import AnalysisConfig, assemble, request_config
 from repro.core.fixpoint import FixpointCapture
+from repro.obs.metrics import default_registry
+from repro.obs.trace import current_tracer
 from repro.service.cache import (
     CachedFixpoint,
     FixpointCache,
@@ -340,11 +342,15 @@ def prepare(job: BatchJob) -> PreparedJob:
     validated = job.config.validated()
     if validated != job.config:
         job = _dc_replace(job, config=validated)
-    program = resolve_program(job)
+    tracer = current_tracer()
+    with tracer.span("parse", cat="prepare", language=job.config.language):
+        program = resolve_program(job)
+    with tracer.span("assemble", cat="prepare", language=job.config.language):
+        analysis = assemble(job.config, program=program)
     return PreparedJob(
         config=job.config,
         program=program,
-        analysis=assemble(job.config, program=program),
+        analysis=analysis,
         key=cache_key(program, job.config),
         job=job,
     )
@@ -357,10 +363,12 @@ def prepare_cell(config: AnalysisConfig, program: Any) -> PreparedJob:
     source/corpus round trip but run the identical downstream pipeline.
     """
     config = config.validated()
+    with current_tracer().span("assemble", cat="prepare", language=config.language):
+        analysis = assemble(config, program=program)
     return PreparedJob(
         config=config,
         program=program,
-        analysis=assemble(config, program=program),
+        analysis=analysis,
         key=cache_key(program, config),
     )
 
@@ -526,6 +534,34 @@ def dispatch(
     """
     if (job is None) == (config is None):
         raise ValueError("dispatch takes a job= or a config=/program= pair")
+    with current_tracer().span("dispatch", cat="dispatch"):
+        outcome = _dispatch_cascade(
+            job=job,
+            cache=cache,
+            hot=hot,
+            use_cache=use_cache,
+            allow_warm=allow_warm,
+            donor=donor,
+            config=config,
+            program=program,
+        )
+    # the process-wide tier ledger: every dispatch, whatever front end
+    # drove it (the server's per-instance counters stay separate)
+    default_registry().counter("jobs_tier_total", tier=outcome.tier).inc()
+    return outcome
+
+
+def _dispatch_cascade(
+    job: BatchJob | None,
+    cache: FixpointCache | None,
+    hot: HotTier | None,
+    use_cache: bool,
+    allow_warm: bool,
+    donor: CachedFixpoint | None,
+    config: AnalysisConfig | None,
+    program: Any,
+) -> JobOutcome:
+    """The cascade body of :func:`dispatch` (observability lives above)."""
     prepared = prepare(job) if job is not None else prepare_cell(config, program)
     if use_cache:
         hit = probe(prepared, cache=cache, hot=hot)

@@ -180,6 +180,19 @@ def intern_stats() -> dict:
     return {"size": len(_POOL), "hits": _HITS, "misses": _MISSES}
 
 
+def register_metrics(registry: Any) -> None:
+    """Expose the pool to a metrics registry as pull gauges.
+
+    Callback gauges, not pushed counters: :func:`intern` is the hottest
+    call in the whole system (every parsed node goes through it), so the
+    pool must never pay a per-call metrics cost.  The registry reads the
+    module counters at snapshot/scrape time instead.
+    """
+    registry.gauge("intern_pool_size", callback=intern_pool_size)
+    registry.gauge("intern_pool_hits", callback=lambda: _HITS)
+    registry.gauge("intern_pool_misses", callback=lambda: _MISSES)
+
+
 def clear_intern_pool() -> None:
     """Drop every canonical value (bounding pool growth in long-lived hosts).
 

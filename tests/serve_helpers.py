@@ -45,7 +45,10 @@ VOLATILE_ROW_FIELDS = frozenset(
 
 #: Keys masked (at any nesting depth) in golden protocol fixtures:
 #: wall-clock, process identity, and interning counters that depend on
-#: what else the test process has parsed.
+#: what else the test process has parsed.  The ``prometheus`` text blob
+#: is masked wholesale -- it embeds latency quantiles and uptime; its
+#: *reconciliation* with ``stats`` is asserted semantically in
+#: ``tests/test_serve.py``, not byte-pinned here.
 GOLDEN_MASK = frozenset(
     {
         "seconds",
@@ -55,6 +58,7 @@ GOLDEN_MASK = frozenset(
         "pid",
         "inflight",
         "intern",
+        "prometheus",
     }
 )
 

@@ -438,3 +438,89 @@ class TestProtocolDiscipline:
         )
         assert row["language"] == "lam"
         assert row["states"] > 0
+
+
+def _parse_prometheus(text: str) -> dict:
+    """Prometheus exposition text -> {(name, frozen labels): value}."""
+    parsed = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        metric, value = line.rsplit(" ", 1)
+        if "{" in metric:
+            name, body = metric[:-1].split("{", 1)
+            labels = frozenset(
+                tuple(pair.split("=", 1)) for pair in body.split('",') if pair
+            )
+            labels = frozenset((k, v.strip('"')) for k, v in labels)
+        else:
+            name, labels = metric, frozenset()
+        parsed[(name, labels)] = float(value)
+    return parsed
+
+
+class TestObservability:
+    """The metrics method reconciles with stats; tracing rides requests."""
+
+    def test_metrics_reconciles_with_stats(self, tmp_path):
+        with ServerHandle(cache_dir=str(tmp_path / "cache"), workers=2) as handle:
+            with ServeClient(port=handle.port) as client:
+                client.call("ping", {})
+                client.call("analyse", cell_params("1cfa", "cps"))
+                client.call("analyse", cell_params("1cfa", "cps"))
+                with pytest.raises(ServeError):
+                    client.call("analyse", {"language": "cps", "corpus": "mj09",
+                                            "preset": "no-such-preset"})
+                stats = client.call("stats", {})
+                prom = _parse_prometheus(
+                    client.call("metrics", {})["prometheus"]
+                )
+        # the metrics request itself was counted at receipt, after the
+        # stats snapshot -- every other counter must match exactly
+        for method, count in stats["requests"].items():
+            expected = count + (1 if method == "metrics" else 0)
+            key = ("serve_requests_total", frozenset({("method", method)}))
+            assert prom[key] == expected, method
+        assert prom[("serve_requests_total",
+                     frozenset({("method", "metrics")}))] == 1
+        for tier, count in stats["tiers"].items():
+            key = ("serve_tier_total", frozenset({("tier", tier)}))
+            assert prom[key] == count, tier
+        for name, count in stats["errors"].items():
+            key = ("serve_errors_total", frozenset({("error", name)}))
+            assert prom[key] == count, name
+        assert prom[("serve_work_evaluations_total", frozenset())] == (
+            stats["work"]["evaluations"]
+        )
+        # latency summaries exist for every method that completed
+        for method, cell in stats["latency"].items():
+            key = ("serve_latency_seconds_count", frozenset({("method", method)}))
+            assert prom[key] == cell["count"], method
+
+    def test_request_trace_field_returns_events(self, tmp_path):
+        with ServerHandle(cache_dir=str(tmp_path / "cache"), workers=2) as handle:
+            with ServeClient(port=handle.port) as client:
+                plain = client.call("analyse", cell_params("1cfa", "lam"))
+                traced = client.call(
+                    "analyse", dict(cell_params("1cfa", "lam"), trace=True)
+                )
+        assert "trace" not in plain
+        names = [event["name"] for event in traced["trace"]]
+        assert "serve.analyse" in names
+        # the traced response's analysis content is still byte-identical
+        traced.pop("trace")
+        assert content_bytes(traced) == content_bytes(plain)
+
+    def test_server_trace_path_written_on_shutdown(self, tmp_path):
+        trace_path = tmp_path / "serve-trace.json"
+        with ServerHandle(
+            cache_dir=str(tmp_path / "cache"),
+            workers=2,
+            trace_path=str(trace_path),
+        ) as handle:
+            with ServeClient(port=handle.port) as client:
+                client.call("analyse", cell_params("1cfa", "cps"))
+        document = json.loads(trace_path.read_text())
+        names = [event["name"] for event in document["traceEvents"]]
+        assert "serve.analyse" in names
+        assert "fixpoint" in names  # engine spans landed in the same trace

@@ -80,8 +80,9 @@ SCRIPT = [
         '{"language": "lam", "corpus": "eta", "preset": "0cfa", '
         '"label": "lam/eta/0cfa"}]}}',
     ),
-    ("stats", '{"id": 12, "method": "stats"}'),
-    ("shutdown", '{"id": 13, "method": "shutdown"}'),
+    ("metrics", '{"id": 12, "method": "metrics"}'),
+    ("stats", '{"id": 13, "method": "stats"}'),
+    ("shutdown", '{"id": 14, "method": "shutdown"}'),
 ]
 
 

@@ -1,0 +1,167 @@
+"""Validate a trace artifact written by ``--trace`` (CI trace-smoke).
+
+Checks the structural invariants the tracer promises, on either output
+format (Chrome ``trace_event`` JSON, or JSONL when the path ends in
+``.jsonl``):
+
+* the file parses -- ``json.loads`` on the whole document, or on every
+  line for JSONL (the round-trip the viewer depends on);
+* a Chrome document is ``{"traceEvents": [...]}`` and every event is an
+  object carrying ``name``/``ph``/``ts``/``pid``/``tid``;
+* complete spans (``ph: "X"``) have ``dur >= 0``, and within each
+  ``tid`` they nest properly: sorted by start time, a later span either
+  begins after the previous one ends or lies entirely inside it --
+  partial overlap means a span leaked across a ``with`` boundary;
+* timestamps are monotone per ``tid`` in emission order for instant
+  events (the tracer appends under a lock, so a regression here means
+  the clock or the lock broke).
+
+Exit 0 with a one-line summary on success, exit 1 with the first
+violation otherwise::
+
+    PYTHONPATH=src python tools/check_trace.py trace.json
+    PYTHONPATH=src python tools/check_trace.py run.jsonl
+
+Stdlib only; the checker deliberately does not import ``repro.obs`` --
+it validates the artifact bytes, not the objects that produced them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+class TraceError(Exception):
+    """A structural violation in a trace artifact."""
+
+
+_REQUIRED_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+
+def load_events(path: str) -> list[dict]:
+    """Parse the artifact and return its event list (format by suffix)."""
+    with open(path) as handle:
+        if path.endswith(".jsonl"):
+            events = []
+            for number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    events.append(json.loads(line))
+                except json.JSONDecodeError as error:
+                    raise TraceError(f"line {number}: not valid JSON ({error})")
+            return events
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise TraceError(f"not valid JSON ({error})")
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        raise TraceError('a Chrome trace must be {"traceEvents": [...]}')
+    events = document["traceEvents"]
+    if not isinstance(events, list):
+        raise TraceError("traceEvents is not a list")
+    return events
+
+
+def check_events(events: list[dict]) -> dict:
+    """Raise :class:`TraceError` on the first violation; return counts."""
+    spans_by_tid: dict = {}
+    last_instant_ts: dict = {}
+    counts = {"spans": 0, "instants": 0, "metadata": 0}
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise TraceError(f"event {index}: not an object")
+        phase = event.get("ph")
+        if phase == "M":
+            counts["metadata"] += 1
+            continue
+        for key in _REQUIRED_KEYS:
+            if key not in event:
+                raise TraceError(f"event {index} ({event.get('name')!r}): no {key!r}")
+        if not isinstance(event["ts"], (int, float)) or event["ts"] < 0:
+            raise TraceError(f"event {index}: ts {event['ts']!r} is not a time")
+        tid = event["tid"]
+        if phase == "X":
+            duration = event.get("dur")
+            if not isinstance(duration, (int, float)) or duration < 0:
+                raise TraceError(
+                    f"span {index} ({event['name']!r}): dur {duration!r} "
+                    "is missing or negative"
+                )
+            spans_by_tid.setdefault(tid, []).append(
+                (event["ts"], event["ts"] + duration, event["name"])
+            )
+            counts["spans"] += 1
+        elif phase == "i":
+            previous = last_instant_ts.get(tid)
+            if previous is not None and event["ts"] < previous:
+                raise TraceError(
+                    f"instant {index} ({event['name']!r}): ts went backwards "
+                    f"on tid {tid} ({event['ts']} < {previous})"
+                )
+            last_instant_ts[tid] = event["ts"]
+            counts["instants"] += 1
+        else:
+            raise TraceError(f"event {index}: unknown phase {phase!r}")
+    for tid, spans in spans_by_tid.items():
+        _check_nesting(tid, spans)
+    return counts
+
+
+def _check_nesting(tid, spans: list[tuple]) -> None:
+    """Spans on one thread must nest -- no partial overlap.
+
+    Sorted by (start, -end) so an enclosing span precedes its children;
+    a stack of open intervals then catches any span that straddles a
+    boundary, which is exactly what a leaked ``with`` produces.
+    """
+    stack: list[tuple] = []
+    for start, end, name in sorted(spans, key=lambda row: (row[0], -row[1])):
+        while stack and start >= stack[-1][1]:
+            stack.pop()
+        if stack and end > stack[-1][1]:
+            raise TraceError(
+                f"span {name!r} on tid {tid} [{start}, {end}] partially "
+                f"overlaps enclosing {stack[-1][2]!r} "
+                f"[{stack[-1][0]}, {stack[-1][1]}]"
+            )
+        stack.append((start, end, name))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", help="trace artifact (.json Chrome trace or .jsonl)")
+    parser.add_argument(
+        "--min-events",
+        type=int,
+        default=1,
+        help="fail if fewer than this many non-metadata events (default 1: "
+        "an empty trace from a real run means the tracer was never installed)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        events = load_events(args.path)
+        counts = check_events(events)
+    except TraceError as error:
+        print(f"{args.path}: INVALID: {error}", file=sys.stderr)
+        return 1
+    total = counts["spans"] + counts["instants"]
+    if total < args.min_events:
+        print(
+            f"{args.path}: INVALID: only {total} event(s), "
+            f"need >= {args.min_events}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"{args.path}: ok ({counts['spans']} spans, {counts['instants']} "
+        f"instants, {counts['metadata']} metadata)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

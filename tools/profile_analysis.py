@@ -63,70 +63,36 @@ import time
 import zlib
 
 
-def _corpus(lang: str) -> dict:
-    if lang == "cps":
-        from repro.corpus.cps_programs import PROGRAMS
-
-        return dict(PROGRAMS)
-    if lang == "lam":
-        from repro.corpus.lam_programs import PROGRAMS
-
-        return dict(PROGRAMS)
-    from repro.corpus.fj_programs import PROGRAMS
-
-    return dict(PROGRAMS)
-
-
 def resolve_workload(lang: str, name: str):
-    """A corpus program by name; CPS also accepts synthetic ``id-chain-N``."""
-    if lang == "cps" and name.startswith("id-chain-"):
-        from repro.corpus.cps_programs import id_chain
+    """A corpus program by name; CPS also accepts synthetic ``id-chain-N``.
 
-        return id_chain(int(name.rsplit("-", 1)[1]))
-    programs = _corpus(lang)
+    Resolution itself lives in :mod:`repro.util.workloads` (shared with
+    ``benchmarks/record.py``); this wrapper only turns the library
+    ``ValueError`` into a tool exit.
+    """
+    from repro.util.workloads import resolve_workload as resolve
+
     try:
-        return programs[name]
-    except KeyError:
-        known = ", ".join(sorted(programs))
-        raise SystemExit(
-            f"unknown {lang} workload {name!r}; choose one of: {known}"
-            + (" (or id-chain-N)" if lang == "cps" else "")
-        ) from None
+        return resolve(lang, name)
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
 
 
 def build_analysis(args: argparse.Namespace, program):
-    from repro.config import AnalysisConfig, assemble, build_config
-    from repro.core.store import CountingStore
+    from repro.config import assemble
+    from repro.util.workloads import build_workload_config
 
-    if args.preset:
-        config = build_config(
-            args.lang,
-            preset=args.preset,
-            store_like=CountingStore() if args.counting else None,
-            gc=True if args.gc else None,
-            engine=args.engine,
-            store_impl=args.store_impl,
-            transition=args.transition,
-            schedule=args.schedule,
-        )
-        if args.k is not None:
-            config = config.replace(k=args.k).validated()
-    else:
-        engine = args.engine or "depgraph"
-        # kleene pairs only with the persistent store; mirror the CLI's
-        # fallback instead of crashing on the documented --engine kleene
-        default_impl = "persistent" if engine == "kleene" else "versioned"
-        config = AnalysisConfig(
-            language=args.lang,
-            k=1 if args.k is None else args.k,
-            widening="store",
-            engine=engine,
-            store_impl=args.store_impl or default_impl,
-            gc=args.gc,
-            counting=args.counting,
-            transition=args.transition or "generic",
-            schedule=args.schedule or "fifo",
-        ).validated()
+    config = build_workload_config(
+        args.lang,
+        preset=args.preset,
+        k=args.k,
+        engine=args.engine,
+        store_impl=args.store_impl,
+        transition=args.transition,
+        schedule=args.schedule,
+        gc=args.gc,
+        counting=args.counting,
+    )
     return assemble(config, program=program), config
 
 
@@ -177,8 +143,16 @@ def schedule_trace(analysis, config, args: argparse.Namespace, program) -> int:
     The trace is the engine's own pop sequence (one ``(rank, config)``
     entry per real evaluation -- warm replays never appear), so what is
     printed is exactly what the worklist did, not a reconstruction.
+
+    With ``--trace FILE`` the same run goes through the structured
+    tracer (:mod:`repro.obs.trace`): the analysis phases appear as
+    spans, and every worklist pop is appended as an instant ``pop``
+    event carrying its drain index and dependency rank -- the drain
+    order, viewable next to the phase timeline in Perfetto.
     """
     from collections import Counter
+
+    from repro.obs.trace import Tracer, use_tracer
 
     if config.engine not in ("worklist", "depgraph"):
         raise SystemExit(
@@ -192,7 +166,16 @@ def schedule_trace(analysis, config, args: argparse.Namespace, program) -> int:
             "worker threads, so a global evaluation order is not defined"
         )
     trace: list = []
-    analysis.run(program, trace=trace)
+    tracer = Tracer(process_name="profile-analysis") if args.trace else None
+    if tracer is not None:
+        with use_tracer(tracer):
+            analysis.run(program, trace=trace)
+        for index, (rank, _conf) in enumerate(trace):
+            tracer.event("pop", cat="schedule", index=index, rank=rank)
+        tracer.write(args.trace)
+        print(f"wrote trace to {args.trace}", file=sys.stderr)
+    else:
+        analysis.run(program, trace=trace)
     stats = dict(analysis.last_stats)
 
     print(
@@ -286,6 +269,14 @@ def main(argv: list[str] | None = None) -> int:
         help="dump the worklist drain order and the per-configuration "
         "re-evaluation histogram instead of profiling (sequential "
         "worklist engines only; --top bounds the order listing)",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="with --schedule-trace: also write the run as a structured "
+        "trace (Chrome trace_event JSON, or JSONL for a .jsonl path) "
+        "with one instant event per worklist pop",
     )
     parser.add_argument(
         "--pickle-cost",
